@@ -1,0 +1,190 @@
+package tetriswrite
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark regenerates its experiment at a reduced scale and
+// reports the experiment's headline numbers as custom metrics alongside
+// the usual ns/op, so `go test -bench=.` doubles as a quick smoke run of
+// the whole evaluation. Use cmd/tetrisbench for full-scale tables.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tetriswrite/internal/exp"
+	"tetriswrite/internal/system"
+	"tetriswrite/internal/workload"
+)
+
+func benchEvalOptions() EvalOptions {
+	return EvalOptions{Writes: 500, InstrBudget: 50_000, Seed: 1}
+}
+
+// geomeanRow extracts the labelled row's numeric cells from a rendered
+// table.
+func rowOf(out, label string) []float64 {
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[0] != label {
+			continue
+		}
+		var vals []float64
+		for _, f := range fields[1:] {
+			if v, err := strconv.ParseFloat(f, 64); err == nil {
+				vals = append(vals, v)
+			}
+		}
+		return vals
+	}
+	return nil
+}
+
+// BenchmarkTable3Workloads measures workload-generator throughput: the
+// substrate behind every experiment's Table III characteristics.
+func BenchmarkTable3Workloads(b *testing.B) {
+	for _, prof := range workload.Profiles() {
+		b.Run(prof.Name, func(b *testing.B) {
+			prog := workload.NewProgram(prof, 4, 1, DefaultParams())
+			g := prog.Generator(0)
+			var instr int64
+			writes := 0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op := g.Next()
+				instr += op.Think
+				if op.Write {
+					writes++
+				}
+			}
+			if instr > 0 {
+				b.ReportMetric(float64(b.N)/float64(instr)*1000, "apki")
+			}
+		})
+	}
+}
+
+// BenchmarkFig3BitStats regenerates Figure 3 (bit-change statistics) and
+// reports the suite-average SET/RESET counts per 64-bit unit.
+func BenchmarkFig3BitStats(b *testing.B) {
+	opt := benchEvalOptions()
+	opt.Writes = 200
+	var avg []float64
+	for i := 0; i < b.N; i++ {
+		avg = rowOf(exp.Figure3(opt).String(), "average")
+	}
+	if len(avg) >= 3 {
+		b.ReportMetric(avg[0], "resets/unit")
+		b.ReportMetric(avg[1], "sets/unit")
+	}
+}
+
+// BenchmarkFig4Sample plans the Figure 4 worked example.
+func BenchmarkFig4Sample(b *testing.B) {
+	par := DefaultParams()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = Figure4(par)
+	}
+	_ = out
+}
+
+// BenchmarkFig10WriteUnits regenerates Figure 10 and reports the
+// suite-average write units of the baseline and of Tetris Write.
+func BenchmarkFig10WriteUnits(b *testing.B) {
+	opt := benchEvalOptions()
+	opt.Writes = 200
+	var avg []float64
+	for i := 0; i < b.N; i++ {
+		avg = rowOf(exp.Figure10(opt).String(), "average")
+	}
+	if len(avg) == 5 {
+		b.ReportMetric(avg[0], "wu-baseline")
+		b.ReportMetric(avg[3], "wu-3stage")
+		b.ReportMetric(avg[4], "wu-tetris")
+	}
+}
+
+// fullSystemBench runs the 8x5 sweep once per iteration and reports the
+// requested figure's geomean row.
+func fullSystemBench(b *testing.B, figure string) {
+	opt := benchEvalOptions()
+	var fr *exp.FullResults
+	var err error
+	for i := 0; i < b.N; i++ {
+		fr, err = exp.RunFullSystem(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var out string
+	switch figure {
+	case "fig11":
+		out = fr.Figure11().String()
+	case "fig12":
+		out = fr.Figure12().String()
+	case "fig13":
+		out = fr.Figure13().String()
+	case "fig14":
+		out = fr.Figure14().String()
+	}
+	g := rowOf(out, "geomean")
+	if len(g) == 5 {
+		b.ReportMetric(g[1], "fnw")
+		b.ReportMetric(g[2], "2stage")
+		b.ReportMetric(g[3], "3stage")
+		b.ReportMetric(g[4], "tetris")
+	}
+}
+
+// BenchmarkFig11ReadLatency regenerates Figure 11 (read latency
+// normalized to the DCW baseline; lower is better).
+func BenchmarkFig11ReadLatency(b *testing.B) { fullSystemBench(b, "fig11") }
+
+// BenchmarkFig12WriteLatency regenerates Figure 12 (write latency
+// normalized to the baseline).
+func BenchmarkFig12WriteLatency(b *testing.B) { fullSystemBench(b, "fig12") }
+
+// BenchmarkFig13IPC regenerates Figure 13 (IPC improvement over the
+// baseline; higher is better).
+func BenchmarkFig13IPC(b *testing.B) { fullSystemBench(b, "fig13") }
+
+// BenchmarkFig14RunningTime regenerates Figure 14 (running time
+// normalized to the baseline).
+func BenchmarkFig14RunningTime(b *testing.B) { fullSystemBench(b, "fig14") }
+
+// BenchmarkSchemePlanWrite measures per-scheme planning cost on a sparse
+// write: the per-write work a memory controller would add.
+func BenchmarkSchemePlanWrite(b *testing.B) {
+	par := DefaultParams()
+	for _, name := range SchemeNames() {
+		b.Run(name, func(b *testing.B) {
+			s, err := NewScheme(name, par)
+			if err != nil {
+				b.Fatal(err)
+			}
+			old := make([]byte, 64)
+			new := make([]byte, 64)
+			for i := 0; i < 10; i++ {
+				new[i*6%64] ^= 1 << (i % 8)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan := s.PlanWrite(LineAddr(i%256), old, new)
+				_ = plan.ServiceTime()
+			}
+		})
+	}
+}
+
+// BenchmarkFullSystemSingle measures one full-system simulation
+// (canneal under Tetris) end to end.
+func BenchmarkFullSystemSingle(b *testing.B) {
+	prof, _ := workload.ProfileByName("canneal")
+	cfg := system.Config{Params: DefaultParams(), InstrBudget: 50_000}
+	for i := 0; i < b.N; i++ {
+		_, err := system.Run(prof, schemeFactories["tetris"], cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

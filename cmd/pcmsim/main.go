@@ -1,0 +1,158 @@
+// Command pcmsim runs one full-system simulation: one workload, one
+// write scheme, and prints the measured latencies, IPC, energy and
+// running time.
+//
+// Usage:
+//
+//	pcmsim -workload vips -scheme tetris
+//	pcmsim -workload canneal -scheme 3stage -instr 2000000 -budget 16
+//	pcmsim -workload dedup -scheme tetris -trace dedup.trace
+//
+// With -trace, operations are replayed from a trace file produced by
+// tracegen instead of being generated on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tetriswrite/internal/memctrl"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/system"
+	"tetriswrite/internal/tetris"
+	"tetriswrite/internal/trace"
+	"tetriswrite/internal/workload"
+)
+
+var factories = map[string]schemes.Factory{
+	"conventional": schemes.NewConventional,
+	"dcw":          schemes.NewDCW,
+	"baseline":     schemes.NewDCW,
+	"fnw":          schemes.NewFlipNWrite,
+	"2stage":       schemes.NewTwoStage,
+	"twostage":     schemes.NewTwoStage,
+	"3stage":       schemes.NewThreeStage,
+	"threestage":   schemes.NewThreeStage,
+	"tetris":       tetris.New,
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "pcmsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one simulation with the given arguments; separated from
+// main for testability.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		wl        = fs.String("workload", "vips", "workload: one of the 8 PARSEC profiles")
+		scheme    = fs.String("scheme", "tetris", "write scheme: conventional|dcw|fnw|2stage|3stage|tetris")
+		instr     = fs.Int64("instr", 1_000_000, "instructions per core")
+		coresN    = fs.Int("cores", 4, "number of cores")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		budget    = fs.Int("budget", 32, "per-chip power budget in SET currents (mobile: 4-16)")
+		gcp       = fs.Bool("gcp", true, "enable the global charge pump (bank-wide budget sharing)")
+		lineBytes = fs.Int("line", 64, "cache line size in bytes")
+		banks     = fs.Int("banks", 8, "PCM banks")
+		subarrays = fs.Int("subarrays", 1, "subarrays per bank (reads overlap writes when > 1)")
+		pausing   = fs.Bool("pausing", false, "let reads pause in-flight writes")
+		traceFile = fs.String("trace", "", "replay operations from this trace file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	factory, ok := factories[*scheme]
+	if !ok {
+		return fmt.Errorf("unknown scheme %q; have %s", *scheme, strings.Join(keys(), ", "))
+	}
+	prof, err := workload.ProfileByName(*wl)
+	if err != nil {
+		return err
+	}
+
+	par := pcm.DefaultParams()
+	par.ChipBudget = *budget
+	par.GlobalChargePump = *gcp
+	par.LineBytes = *lineBytes
+	par.NumBanks = *banks
+	if err := par.Validate(); err != nil {
+		return fmt.Errorf("invalid configuration: %w", err)
+	}
+	ctrlCfg := memctrl.Config{Subarrays: *subarrays, WritePausing: *pausing}
+
+	var res system.Result
+	if *traceFile != "" {
+		res, err = replayTraceFile(*traceFile, prof.Name, factory, par, ctrlCfg, *instr)
+	} else {
+		res, err = system.Run(prof, factory, system.Config{
+			Params:      par,
+			Cores:       *coresN,
+			InstrBudget: *instr,
+			Seed:        *seed,
+			Ctrl:        ctrlCfg,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	printResult(stdout, res, par)
+	return nil
+}
+
+// replayTraceFile loads a trace file and replays it through the platform.
+func replayTraceFile(path, label string, factory schemes.Factory, par pcm.Params, ctrlCfg memctrl.Config, instr int64) (system.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return system.Result{}, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return system.Result{}, err
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		return system.Result{}, err
+	}
+	return system.RunTrace(label, recs, int(r.Header().Cores), factory, system.Config{
+		Params:      par,
+		InstrBudget: instr,
+		Ctrl:        ctrlCfg,
+	})
+}
+
+func printResult(w io.Writer, res system.Result, par pcm.Params) {
+	fmt.Fprintf(w, "workload       %s\n", res.Workload)
+	fmt.Fprintf(w, "scheme         %s\n", res.Scheme)
+	fmt.Fprintf(w, "running time   %v\n", res.RunningTime)
+	fmt.Fprintf(w, "IPC (sum)      %.3f\n", res.IPC)
+	fmt.Fprintf(w, "read latency   %v (p99 within histogram resolution: %v)\n",
+		res.ReadLatency, res.Ctrl.ReadLatency.Percentile(99))
+	fmt.Fprintf(w, "write latency  %v\n", res.WriteLatency)
+	fmt.Fprintf(w, "write units    %.3f per line write (baseline: %d)\n", res.WriteUnits, par.DataUnits())
+	fmt.Fprintf(w, "memory reads   %d (%d forwarded from the write queue)\n", res.Ctrl.Reads, res.Ctrl.ForwardedReads)
+	fmt.Fprintf(w, "memory writes  %d (%d coalesced, %d drains)\n", res.Ctrl.Writes, res.Ctrl.Coalesced, res.Ctrl.Drains)
+	fmt.Fprintf(w, "bit pulses     %d SET, %d RESET\n", res.Ctrl.BitSets, res.Ctrl.BitResets)
+	fmt.Fprintf(w, "energy         %.0f (SET-current x ns)\n", res.Energy)
+	if res.Ctrl.Pauses > 0 || res.Ctrl.SubarrayOverlaps > 0 {
+		fmt.Fprintf(w, "overlap        %d pauses, %d subarray overlaps\n",
+			res.Ctrl.Pauses, res.Ctrl.SubarrayOverlaps)
+	}
+}
+
+func keys() []string {
+	out := make([]string, 0, len(factories))
+	for k := range factories {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-fig", "10", "-writes", "100"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 10") {
+		t.Errorf("missing Figure 10:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "Figure 11") {
+		t.Error("unrequested figure printed")
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-table", "2"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table II") {
+		t.Error("missing Table II")
+	}
+	out.Reset()
+	if err := run([]string{"-table", "3"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table III") {
+		t.Error("missing Table III")
+	}
+}
+
+func TestRunFullSystemFigure(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-fig", "13", "-instr", "30000", "-writes", "100"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "IPC improvement") {
+		t.Errorf("missing Figure 13 output:\n%s", out.String())
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-sweep", "budget", "-writes", "50"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Power-budget sweep") {
+		t.Error("missing budget sweep")
+	}
+	if err := run([]string{"-sweep", "bogus"}, &out, &errb); err == nil {
+		t.Error("unknown sweep accepted")
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-check", "-writes", "300", "-instr", "50000"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all 9 reproduction checks passed") {
+		t.Errorf("certificate line missing:\n%s", out.String())
+	}
+}
+
+func TestRunSeedsAndFormats(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-seeds", "2", "-instr", "20000", "-writes", "50"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "across seeds") {
+		t.Errorf("seed sweep output missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-fig", "10", "-writes", "50", "-csv"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "workload,baseline,fnw") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-fig", "10", "-writes", "50", "-plot"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Error("plot output has no bars")
+	}
+	out.Reset()
+	if err := run([]string{"-fig", "11", "-instr", "20000", "-writes", "50", "-tail"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "P99 read latency") {
+		t.Error("tail table missing")
+	}
+	out.Reset()
+	if err := run([]string{"-endurance", "-instr", "60000"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Endurance") {
+		t.Error("endurance table missing")
+	}
+}
+
+func TestRunMLC(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-mlc"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SLC vs MLC") || !strings.Contains(out.String(), "ratio") {
+		t.Errorf("mlc output wrong:\n%s", out.String())
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "dedup", "-cores", "2", "-ops", "100",
+		"-seed", "5", "-o", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "wrote 100 records") {
+		t.Errorf("status line missing: %s", errb.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-dump", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	dump := out.String()
+	if !strings.Contains(dump, "# trace v1, 2 cores, 64 B lines") {
+		t.Errorf("dump header wrong:\n%s", dump)
+	}
+	lines := strings.Count(dump, "\n")
+	if lines != 101 { // header + 100 records
+		t.Errorf("dump has %d lines, want 101", lines)
+	}
+	if !strings.Contains(dump, "core=0") || !strings.Contains(dump, "core=1") {
+		t.Error("dump missing per-core records")
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-ops", "10"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "TWTRACE1") {
+		t.Error("stdout stream does not start with the trace magic")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "bogus"}, &out, &errb); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-dump", "/nonexistent/file"}, &out, &errb); err == nil {
+		t.Error("missing dump file accepted")
+	}
+	if err := run([]string{"-nope"}, &out, &errb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

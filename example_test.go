@@ -1,0 +1,89 @@
+package tetriswrite_test
+
+import (
+	"fmt"
+
+	"tetriswrite"
+)
+
+// The smallest use of the library: plan one cache-line write under
+// Tetris Write and inspect its cost.
+func Example_planWrite() {
+	par := tetriswrite.DefaultParams()
+	s, err := tetriswrite.NewScheme("tetris", par)
+	if err != nil {
+		panic(err)
+	}
+	old := make([]byte, 64)
+	new := make([]byte, 64)
+	new[0] = 0x0F // four bits change
+
+	plan := s.PlanWrite(0, old, new)
+	sets, resets := plan.Counts()
+	fmt.Printf("pulses: %d SET, %d RESET\n", sets, resets)
+	fmt.Printf("write units: %.2f (baseline needs %d)\n", plan.WriteUnits(), par.DataUnits())
+	// Output:
+	// pulses: 4 SET, 0 RESET
+	// write units: 1.00 (baseline needs 8)
+}
+
+// Comparing the service time of every scheme on the same write.
+func Example_compareSchemes() {
+	par := tetriswrite.DefaultParams()
+	old := make([]byte, 64)
+	new := make([]byte, 64)
+	new[10] = 0x81
+
+	for _, name := range []string{"dcw", "fnw", "threestage", "tetris"} {
+		s, err := tetriswrite.NewScheme(name, par)
+		if err != nil {
+			panic(err)
+		}
+		plan := s.PlanWrite(0, old, new)
+		fmt.Printf("%-11s %v\n", name, plan.ServiceTime())
+	}
+	// Output:
+	// dcw         3.490us
+	// fnw         1.770us
+	// threestage  1.122us
+	// tetris      582.500ns
+}
+
+// Running a full-system simulation: one workload, one scheme, the
+// paper's 4-core platform.
+func Example_runSystem() {
+	res, err := tetriswrite.RunSystem("canneal", "tetris", tetriswrite.SystemConfig{
+		InstrBudget: 100_000,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("workload=%s scheme=%s\n", res.Workload, res.Scheme)
+	fmt.Printf("memory traffic: %d reads, %d writes\n", res.Ctrl.Reads, res.Ctrl.Writes)
+	fmt.Printf("write units per line: %.3f\n", res.WriteUnits)
+	// Output:
+	// workload=canneal scheme=tetris
+	// memory traffic: 1143 reads, 73 writes
+	// write units per line: 1.000
+}
+
+// Ablations: Tetris Write with the analysis overhead removed and
+// arrival-order packing.
+func Example_tetrisOptions() {
+	par := tetriswrite.DefaultParams()
+	s, err := tetriswrite.NewTetris(par, tetriswrite.TetrisOptions{
+		AnalysisCycles: -1, // idealized ASIC: no analysis overhead
+		ArrivalOrder:   true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	old := make([]byte, 64)
+	new := make([]byte, 64)
+	new[3] = 0xFF
+	plan := s.PlanWrite(0, old, new)
+	fmt.Printf("service: %v (read %v + write %v)\n", plan.ServiceTime(), plan.Read, plan.Write)
+	// Output:
+	// service: 480.000ns (read 50.000ns + write 430.000ns)
+}

@@ -1,0 +1,35 @@
+// PARSEC sweep: a reduced-scale run of the paper's whole evaluation —
+// all 8 workloads under all 5 schemes — printing Figures 10 through 14.
+// cmd/tetrisbench does the same at full scale with knobs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tetriswrite"
+)
+
+func main() {
+	opt := tetriswrite.EvalOptions{
+		Writes:      2000,
+		InstrBudget: 300_000,
+		Seed:        1,
+	}
+
+	fmt.Println(tetriswrite.Table3(opt))
+	fmt.Println(tetriswrite.Figure3(opt))
+	fmt.Println(tetriswrite.Figure10(opt))
+
+	fmt.Println("running the full-system sweep (8 workloads x 5 schemes)...")
+	fmt.Println()
+	fr, err := tetriswrite.RunEvaluation(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fr.Figure11())
+	fmt.Println(fr.Figure12())
+	fmt.Println(fr.Figure13())
+	fmt.Println(fr.Figure14())
+	fmt.Println(fr.EnergyTable())
+}

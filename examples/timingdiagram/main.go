@@ -1,0 +1,15 @@
+// Timing diagram: regenerates the paper's Figure 4 — the chip-level
+// schedule of one cache-line write under every scheme, on the worked
+// example of Section III (write-1 counts 8,7,7,6,6,6,5,3 and write-0
+// counts 0,1,1,2,3,2,2,5 against a budget of 32 SET-currents per chip).
+package main
+
+import (
+	"fmt"
+
+	"tetriswrite"
+)
+
+func main() {
+	fmt.Print(tetriswrite.Figure4(tetriswrite.DefaultParams()))
+}

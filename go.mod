@@ -1,0 +1,3 @@
+module tetriswrite
+
+go 1.22

@@ -1,0 +1,31 @@
+package bitutil
+
+import "testing"
+
+// FuzzFlipCoding: for arbitrary stored state and target words, the
+// inversion coding must always decode to the target and never need more
+// than half the cells changed (counting the flip cell).
+func FuzzFlipCoding(f *testing.F) {
+	f.Add(uint16(0), uint16(0xFFFF), false)
+	f.Add(uint16(0xAAAA), uint16(0x5555), true)
+	f.Fuzz(func(t *testing.T, storedBits, next uint16, storedFlip bool) {
+		stored := FlipWord{Bits: storedBits, Flip: storedFlip}
+		enc, tr, fs, fr := FlipTransition(stored, next, 16)
+		if enc.Logical() != next {
+			t.Fatalf("decode mismatch: stored %04x/%v next %04x", storedBits, storedFlip, next)
+		}
+		if tr.Apply(stored.Bits) != enc.Bits {
+			t.Fatal("transition does not reach the encoding")
+		}
+		changed := tr.NumChanged()
+		if fs || fr {
+			changed++
+		}
+		if changed > 8 {
+			t.Fatalf("%d cells changed; coding bound is 8", changed)
+		}
+		if fs && fr {
+			t.Fatal("flip cell both set and reset")
+		}
+	})
+}

@@ -1,0 +1,403 @@
+// Package cache implements the processor-side cache hierarchy of the
+// paper's platform (Table II): 32 KB L1, 2 MB L2 and a 32 MB L3 DRAM
+// cache, all set-associative, write-back and write-allocate with LRU
+// replacement.
+//
+// The hierarchy sits between the cores and the PCM memory controller as
+// a cpu.MemPort: read hits complete after the level's access latency;
+// misses propagate downward and fill upward; dirty victims cascade into
+// the next level and ultimately into the controller's write queue, which
+// is exactly how cache-line writes reach PCM in the paper's system.
+//
+// The paper's headline experiments (Figures 10-14) drive the controller
+// with memory-level traffic calibrated to Table III's RPKI/WPKI, because
+// those counters are *memory-level* measurements; this package is the
+// substrate for the full-hierarchy mode used by the hierarchy example
+// and the integration tests, where the workload is interpreted as the
+// CPU-level stream instead.
+package cache
+
+import (
+	"fmt"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/units"
+)
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	// Latency is the access latency of the level.
+	Latency units.Duration
+}
+
+// Validate checks the configuration.
+func (c LevelConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible into %d-way sets of %dB lines",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	case c.Latency < 0:
+		return fmt.Errorf("cache %s: negative latency", c.Name)
+	}
+	return nil
+}
+
+// Stats counts one level's activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64 // dirty evictions pushed to the next level
+}
+
+// HitRate returns hits / accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type line struct {
+	tag   int64
+	dirty bool
+	data  []byte
+}
+
+// level is one set-associative array. Entries within a set are kept in
+// LRU order: index 0 is most recently used.
+type level struct {
+	cfg  LevelConfig
+	sets [][]*line
+	st   Stats
+}
+
+func newLevel(cfg LevelConfig) (*level, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	return &level{cfg: cfg, sets: make([][]*line, nsets)}, nil
+}
+
+func (l *level) setOf(addr pcm.LineAddr) int   { return int(int64(addr) % int64(len(l.sets))) }
+func (l *level) tagOf(addr pcm.LineAddr) int64 { return int64(addr) / int64(len(l.sets)) }
+
+// lookup returns the line and promotes it to MRU, or nil on miss.
+func (l *level) lookup(addr pcm.LineAddr) *line {
+	set := l.sets[l.setOf(addr)]
+	tag := l.tagOf(addr)
+	for i, ln := range set {
+		if ln.tag == tag {
+			copy(set[1:i+1], set[:i])
+			set[0] = ln
+			l.st.Hits++
+			return ln
+		}
+	}
+	l.st.Misses++
+	return nil
+}
+
+// insert allocates a line (MRU) and returns the evicted victim, if any.
+func (l *level) insert(addr pcm.LineAddr, data []byte, dirty bool) (victimAddr pcm.LineAddr, victim *line) {
+	si := l.setOf(addr)
+	set := l.sets[si]
+	ln := &line{tag: l.tagOf(addr), dirty: dirty, data: append([]byte(nil), data...)}
+	if len(set) < l.cfg.Ways {
+		l.sets[si] = append([]*line{ln}, set...)
+		return 0, nil
+	}
+	victim = set[len(set)-1]
+	copy(set[1:], set[:len(set)-1])
+	set[0] = ln
+	l.st.Evictions++
+	victimAddr = pcm.LineAddr(victim.tag*int64(len(l.sets)) + int64(si))
+	return victimAddr, victim
+}
+
+// Hierarchy is the three-level cache stack in front of the memory
+// controller. It implements cpu.MemPort.
+type Hierarchy struct {
+	eng    *sim.Engine
+	levels []*level
+	mem    Mem
+
+	// wbBuf holds write-backs the controller rejected; wbMax bounds it,
+	// beyond which the hierarchy back-pressures the cores.
+	wbBuf    []wbEntry
+	wbMax    int
+	retrying bool
+	waiters  []func()
+
+	// OnDirty, if set, is invoked whenever a store makes a line dirty
+	// that was not dirty before — the hook PreSET hint generation hangs
+	// off.
+	OnDirty func(addr pcm.LineAddr)
+}
+
+type wbEntry struct {
+	addr pcm.LineAddr
+	data []byte
+}
+
+// Mem is the memory side of the hierarchy: implemented by
+// memctrl.Controller (possibly wrapped).
+type Mem interface {
+	SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool
+	SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at units.Time)) bool
+	WhenWriteSpace(fn func())
+}
+
+// DefaultLevels returns the paper's Table II hierarchy for a 2 GHz core
+// clock: L1 32 KB 8-way 2 cycles, L2 2 MB 8-way 20 cycles, L3 32 MB
+// 16-way 50 cycles; 64 B lines throughout.
+func DefaultLevels(cpuClock units.Clock) []LevelConfig {
+	return []LevelConfig{
+		{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Latency: cpuClock.Cycles(2)},
+		{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Ways: 8, Latency: cpuClock.Cycles(20)},
+		{Name: "L3", SizeBytes: 32 << 20, LineBytes: 64, Ways: 16, Latency: cpuClock.Cycles(50)},
+	}
+}
+
+// New builds a hierarchy over the memory side.
+func New(eng *sim.Engine, mem Mem, cfgs []LevelConfig) (*Hierarchy, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cache: no levels")
+	}
+	h := &Hierarchy{eng: eng, mem: mem, wbMax: 64}
+	for _, cfg := range cfgs {
+		l, err := newLevel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, l)
+	}
+	return h, nil
+}
+
+// LevelStats returns the per-level statistics, outermost first.
+func (h *Hierarchy) LevelStats() []Stats {
+	out := make([]Stats, len(h.levels))
+	for i, l := range h.levels {
+		out[i] = l.st
+	}
+	return out
+}
+
+// SubmitRead walks the hierarchy. Hits complete after the cumulative
+// latency of the levels touched; misses go to memory and fill every
+// level on the way back.
+func (h *Hierarchy) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool {
+	var lat units.Duration
+	for i, l := range h.levels {
+		lat += l.cfg.Latency
+		if ln := l.lookup(addr); ln != nil {
+			// Fill the levels above (inclusive-ish: keeps upper levels
+			// warm like the common inclusive hierarchy).
+			data := append([]byte(nil), ln.data...)
+			for j := i - 1; j >= 0; j-- {
+				h.fill(j, addr, data, false)
+			}
+			at := h.eng.Now().Add(lat)
+			h.eng.At(at, func() { onDone(at, data) })
+			return true
+		}
+	}
+	// Full miss: check the write-back buffer (it still owns the data),
+	// then memory. A buffer hit re-adopts the line: it moves back into
+	// the hierarchy (dirty) and leaves the buffer, so the freshest copy
+	// has exactly one home.
+	for i, wb := range h.wbBuf {
+		if wb.addr == addr {
+			data := append([]byte(nil), wb.data...)
+			h.wbBuf = append(h.wbBuf[:i], h.wbBuf[i+1:]...)
+			at := h.eng.Now().Add(lat)
+			h.eng.At(at, func() { onDone(at, data) })
+			h.fillAll(addr, data, true)
+			h.drainWaiters()
+			return true
+		}
+	}
+	return h.mem.SubmitRead(addr, func(at units.Time, data []byte) {
+		h.fillAll(addr, data, false)
+		done := at.Add(lat)
+		h.eng.At(done, func() { onDone(done, data) })
+	})
+}
+
+// SubmitWrite is a full-line store: write-allocate into L1 (no fetch
+// needed, the payload covers the line), dirty. It back-pressures when
+// the write-back buffer is full.
+func (h *Hierarchy) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at units.Time)) bool {
+	if len(h.wbBuf) >= h.wbMax {
+		return false
+	}
+	if ln := h.levels[0].lookup(addr); ln != nil {
+		wasDirty := ln.dirty
+		copy(ln.data, data)
+		ln.dirty = true
+		if !wasDirty && h.OnDirty != nil {
+			h.OnDirty(addr)
+		}
+	} else {
+		h.fill(0, addr, data, true)
+		if h.OnDirty != nil {
+			h.OnDirty(addr)
+		}
+	}
+	if onDone != nil {
+		at := h.eng.Now().Add(h.levels[0].cfg.Latency)
+		h.eng.At(at, func() { onDone(at) })
+	}
+	return true
+}
+
+// WhenWriteSpace registers fn for when the hierarchy can accept stores
+// again.
+func (h *Hierarchy) WhenWriteSpace(fn func()) {
+	if len(h.wbBuf) < h.wbMax {
+		h.eng.After(0, fn)
+		return
+	}
+	h.waiters = append(h.waiters, fn)
+}
+
+// fillAll inserts into every level, top down.
+func (h *Hierarchy) fillAll(addr pcm.LineAddr, data []byte, dirty bool) {
+	for i := range h.levels {
+		h.fill(i, addr, data, dirty && i == 0) // dirtiness tracked at L1; lower copies clean
+	}
+}
+
+// fill inserts a line into level i, cascading any dirty victim downward.
+func (h *Hierarchy) fill(i int, addr pcm.LineAddr, data []byte, dirty bool) {
+	vAddr, victim := h.levels[i].insert(addr, data, dirty)
+	if victim == nil || !victim.dirty {
+		return
+	}
+	h.levels[i].st.WriteBacks++
+	if i+1 < len(h.levels) {
+		// Install into the next level as dirty (updating in place on hit).
+		if ln := h.levels[i+1].lookup(vAddr); ln != nil {
+			copy(ln.data, victim.data)
+			ln.dirty = true
+			return
+		}
+		h.fill(i+1, vAddr, victim.data, true)
+		return
+	}
+	// Last level: the victim leaves the hierarchy for PCM.
+	h.pushWriteBack(wbEntry{addr: vAddr, data: victim.data})
+}
+
+func (h *Hierarchy) pushWriteBack(wb wbEntry) {
+	// Coalesce with a buffered write-back to the same line: the newer
+	// data supersedes.
+	for i := range h.wbBuf {
+		if h.wbBuf[i].addr == wb.addr {
+			h.wbBuf[i].data = wb.data
+			return
+		}
+	}
+	// Preserve FIFO: while older write-backs wait, newer ones must queue
+	// behind them, or a stale buffered line could overwrite a fresher
+	// direct submission at the controller.
+	if len(h.wbBuf) == 0 && h.mem.SubmitWrite(wb.addr, wb.data, nil) {
+		return
+	}
+	h.wbBuf = append(h.wbBuf, wb)
+	h.scheduleRetry()
+}
+
+func (h *Hierarchy) scheduleRetry() {
+	if h.retrying {
+		return
+	}
+	h.retrying = true
+	h.mem.WhenWriteSpace(func() {
+		h.retrying = false
+		for len(h.wbBuf) > 0 {
+			if !h.mem.SubmitWrite(h.wbBuf[0].addr, h.wbBuf[0].data, nil) {
+				h.scheduleRetry()
+				return
+			}
+			h.wbBuf = h.wbBuf[1:]
+		}
+		h.drainWaiters()
+	})
+}
+
+func (h *Hierarchy) drainWaiters() {
+	if len(h.wbBuf) >= h.wbMax {
+		return
+	}
+	ws := h.waiters
+	h.waiters = nil
+	for _, fn := range ws {
+		h.eng.After(0, fn)
+	}
+}
+
+// IsDirty reports whether any level (or the write-back buffer) holds a
+// dirty copy of the line, i.e. whether the PCM copy is currently dead.
+// This is the dirtiness oracle PreSET consults before destroying a
+// memory copy.
+func (h *Hierarchy) IsDirty(addr pcm.LineAddr) bool {
+	for _, l := range h.levels {
+		set := l.sets[l.setOf(addr)]
+		tag := l.tagOf(addr)
+		for _, ln := range set {
+			if ln.tag == tag && ln.dirty {
+				return true
+			}
+		}
+	}
+	for _, wb := range h.wbBuf {
+		if wb.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush writes every dirty line back to memory (functionally, ignoring
+// timing) — used at the end of integration tests to compare memory
+// contents against a reference model. It returns the number of lines
+// flushed.
+func (h *Hierarchy) Flush(force func(addr pcm.LineAddr, data []byte)) int {
+	n := 0
+	// Deepest-level copies may be stale if an upper level is dirtier;
+	// flush top-down so the freshest data wins last... rather: collect
+	// the freshest copy per address by walking top-down and skipping
+	// addresses already flushed.
+	seen := map[pcm.LineAddr]bool{}
+	for _, l := range h.levels {
+		for si, set := range l.sets {
+			for _, ln := range set {
+				addr := pcm.LineAddr(ln.tag*int64(len(l.sets)) + int64(si))
+				if ln.dirty && !seen[addr] {
+					force(addr, ln.data)
+					n++
+				}
+				seen[addr] = true
+			}
+		}
+	}
+	for _, wb := range h.wbBuf {
+		if !seen[wb.addr] {
+			force(wb.addr, wb.data)
+			n++
+		}
+	}
+	h.wbBuf = nil
+	return n
+}

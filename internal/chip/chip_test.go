@@ -1,0 +1,177 @@
+package chip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/tetris"
+)
+
+// chipParams returns a single-x16-chip configuration: 16-byte lines, no
+// GCP (one chip has nothing to share with).
+func chipParams() pcm.Params {
+	p := pcm.DefaultParams()
+	p.NumChips = 1
+	p.LineBytes = 16
+	p.GlobalChargePump = false
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	p := chipParams()
+	p.ChipWidthBits = 8
+	p.LineBytes = 8
+	if _, err := New(p); err == nil {
+		t.Error("x8 part accepted by the x16 structural model")
+	}
+	p = chipParams()
+	p.LineBytes = 0
+	if _, err := New(p); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestReadPathTiming(t *testing.T) {
+	c, err := New(chipParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Read()
+	// 2 (GYDEC) + 40 (50ns at 1.25ns ticks) + 2 (DOUT) + 16 (burst).
+	if r.Ticks != 60 {
+		t.Errorf("read ticks = %d, want 60", r.Ticks)
+	}
+	for _, b := range r.Data {
+		if b != 0 {
+			t.Fatal("fresh chip reads nonzero")
+		}
+	}
+}
+
+// TestStructuralBehavioralEquivalence drives identical random write
+// sequences through the structural datapath and the behavioral Tetris
+// scheme and checks, write by write: same stored logical data, same slot
+// dimensions (write units), same pulse counts.
+func TestStructuralBehavioralEquivalence(t *testing.T) {
+	par := chipParams()
+	c, err := New(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beh := tetris.New(par)
+	arr := newMirror()
+	rng := rand.New(rand.NewSource(77))
+	old := make([]byte, 16)
+	next := make([]byte, 16)
+	var pulsesBefore int64
+	for step := 0; step < 400; step++ {
+		copy(next, old)
+		switch step % 4 {
+		case 0:
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				b := rng.Intn(128)
+				next[b/8] ^= 1 << (b % 8)
+			}
+		case 1:
+			rng.Read(next)
+		case 2:
+			for i := range next {
+				next[i] = ^old[i]
+			}
+		case 3: // silent
+		}
+
+		plan := beh.PlanWrite(0, old, next)
+		st := c.Stats()
+		pulsesBefore = st.SetPulses + st.ResetPulses
+		res, err := c.Write(next)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+
+		// Same logical contents.
+		got := c.Logical()
+		if bitutil.HammingBytes(got, next) != 0 {
+			t.Fatalf("step %d: structural chip stores wrong data", step)
+		}
+
+		// Same write-unit dimensions (Equation 5 metric).
+		structWU := float64(res.Result) + float64(res.SubResult)/float64(par.K())
+		if math.Abs(structWU-plan.WriteUnits()) > 1e-9 {
+			t.Fatalf("step %d: structural %.3f write units, behavioral %.3f",
+				step, structWU, plan.WriteUnits())
+		}
+
+		// Same pulse counts.
+		bs, br := plan.Counts()
+		st = c.Stats()
+		gotPulses := st.SetPulses + st.ResetPulses - pulsesBefore
+		if gotPulses != int64(bs+br) {
+			t.Fatalf("step %d: structural pulsed %d cells, behavioral %d",
+				step, gotPulses, bs+br)
+		}
+		arr.apply(next)
+		copy(old, next)
+	}
+	if c.Stats().PeakCurrent > par.ChipBudget {
+		t.Fatalf("peak current %d exceeded budget", c.Stats().PeakCurrent)
+	}
+	if c.Stats().PeakCurrent == 0 {
+		t.Fatal("no current ever drawn")
+	}
+}
+
+// mirror is a trivial golden model of the logical contents.
+type mirror struct{ data []byte }
+
+func newMirror() *mirror            { return &mirror{data: make([]byte, 16)} }
+func (m *mirror) apply(next []byte) { copy(m.data, next) }
+
+func TestWriteValidation(t *testing.T) {
+	c, _ := New(chipParams())
+	if _, err := c.Write(make([]byte, 8)); err == nil {
+		t.Error("short write accepted")
+	}
+}
+
+func TestWriteTickBudgetNeverExceeded(t *testing.T) {
+	// Tiny budget: the packer must serialize and the sweep must stay
+	// within budget for every random write.
+	par := chipParams()
+	par.ChipBudget = 6
+	c, err := New(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	next := make([]byte, 16)
+	for step := 0; step < 100; step++ {
+		rng.Read(next)
+		if _, err := c.Write(next); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if c.Stats().PeakCurrent > par.ChipBudget {
+		t.Fatalf("peak %d > budget %d", c.Stats().PeakCurrent, par.ChipBudget)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	c, _ := New(chipParams())
+	data := make([]byte, 16)
+	data[0] = 0xFF
+	if _, err := c.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Writes != 1 || st.SetPulses == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	c.Read()
+	if c.Stats().Reads != 1 {
+		t.Error("read not counted")
+	}
+}

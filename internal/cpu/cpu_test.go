@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/units"
+	"tetriswrite/internal/workload"
+)
+
+// scriptSource replays a fixed op list, then repeats the last op forever.
+type scriptSource struct {
+	ops []workload.Op
+	i   int
+}
+
+func (s *scriptSource) Next() workload.Op {
+	if s.i < len(s.ops) {
+		op := s.ops[s.i]
+		s.i++
+		return op
+	}
+	return s.ops[len(s.ops)-1]
+}
+
+// fakeMem is a MemPort with a fixed read latency and scriptable write
+// acceptance.
+type fakeMem struct {
+	eng         *sim.Engine
+	readLat     units.Duration
+	rejectFirst int // reject this many writes before accepting
+	waiters     []func()
+	reads       int
+	writes      int
+}
+
+func (m *fakeMem) SubmitRead(addr pcm.LineAddr, onDone func(units.Time, []byte)) bool {
+	m.reads++
+	at := m.eng.Now().Add(m.readLat)
+	m.eng.At(at, func() { onDone(at, make([]byte, 64)) })
+	return true
+}
+
+func (m *fakeMem) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(units.Time)) bool {
+	if m.rejectFirst > 0 {
+		m.rejectFirst--
+		return false
+	}
+	m.writes++
+	return true
+}
+
+func (m *fakeMem) WhenWriteSpace(fn func()) {
+	m.waiters = append(m.waiters, fn)
+}
+
+func twoGHz() units.Clock { return units.NewClock(2e9) }
+
+func TestCoreThinkTiming(t *testing.T) {
+	eng := &sim.Engine{}
+	src := &scriptSource{ops: []workload.Op{{Think: 1000, Addr: 1}}}
+	mem := &fakeMem{eng: eng, readLat: 100 * units.Nanosecond}
+	done := false
+	// Budget of exactly 1000: the core must finish at 1000 cycles
+	// (500 ns) without issuing the access.
+	core := New(eng, twoGHz(), src, mem, 1000, func() { done = true })
+	core.Start()
+	eng.Run()
+	if !done {
+		t.Fatal("core never finished")
+	}
+	if got := core.Stats().FinishedAt; got != units.Time(500*units.Nanosecond) {
+		t.Errorf("finished at %v, want 500ns", got)
+	}
+	if mem.reads != 0 {
+		t.Error("access issued past the instruction budget")
+	}
+}
+
+func TestCoreBlocksOnReads(t *testing.T) {
+	eng := &sim.Engine{}
+	// Two reads with 1000-instruction gaps; read latency 200ns.
+	src := &scriptSource{ops: []workload.Op{
+		{Think: 1000, Addr: 1},
+		{Think: 1000, Addr: 2},
+		{Think: 1000000, Addr: 3},
+	}}
+	mem := &fakeMem{eng: eng, readLat: 200 * units.Nanosecond}
+	core := New(eng, twoGHz(), src, mem, 2500, nil)
+	core.Start()
+	eng.RunUntil(units.Time(10 * units.Microsecond))
+	st := core.Stats()
+	if st.Reads != 2 {
+		t.Fatalf("issued %d reads, want 2", st.Reads)
+	}
+	// Timeline: 500ns think, 200ns read, 500ns think, 200ns read, then
+	// the remaining 500 instructions (250ns): 1650ns.
+	if !st.Finished || st.FinishedAt != units.Time(1650*units.Nanosecond) {
+		t.Errorf("finished=%v at %v, want 1650ns", st.Finished, st.FinishedAt)
+	}
+	if st.ReadStall != 400*units.Nanosecond {
+		t.Errorf("ReadStall = %v, want 400ns", st.ReadStall)
+	}
+}
+
+func TestCorePostsWrites(t *testing.T) {
+	eng := &sim.Engine{}
+	data := make([]byte, 64)
+	src := &scriptSource{ops: []workload.Op{
+		{Think: 1000, Write: true, Addr: 1, Data: data},
+		{Think: 1000000, Addr: 2},
+	}}
+	mem := &fakeMem{eng: eng}
+	core := New(eng, twoGHz(), src, mem, 1500, nil)
+	core.Start()
+	eng.Run()
+	st := core.Stats()
+	if st.Writes != 1 {
+		t.Fatalf("Writes = %d", st.Writes)
+	}
+	if st.WriteStall != 0 {
+		t.Errorf("WriteStall = %v on accepted write", st.WriteStall)
+	}
+	// Write was posted: finish = 1500 instructions = 750ns.
+	if st.FinishedAt != units.Time(750*units.Nanosecond) {
+		t.Errorf("finished at %v, want 750ns", st.FinishedAt)
+	}
+}
+
+func TestCoreStallsOnFullWriteQueue(t *testing.T) {
+	eng := &sim.Engine{}
+	data := make([]byte, 64)
+	src := &scriptSource{ops: []workload.Op{
+		{Think: 1000, Write: true, Addr: 1, Data: data},
+		{Think: 1000000, Addr: 2},
+	}}
+	mem := &fakeMem{eng: eng, rejectFirst: 1}
+	core := New(eng, twoGHz(), src, mem, 1500, nil)
+	core.Start()
+	// Release the stalled write 300ns in.
+	eng.At(units.Time(800*units.Nanosecond), func() {
+		for _, fn := range mem.waiters {
+			fn()
+		}
+	})
+	eng.Run()
+	st := core.Stats()
+	if st.Writes != 1 {
+		t.Fatalf("Writes = %d, want 1 (retry must not double count)", st.Writes)
+	}
+	if st.WriteStall != 300*units.Nanosecond {
+		t.Errorf("WriteStall = %v, want 300ns", st.WriteStall)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	clock := twoGHz()
+	s := Stats{Retired: 1000, Finished: true, FinishedAt: units.Time(1000 * units.Nanosecond)}
+	// 1000 instructions in 2000 cycles -> IPC 0.5.
+	if got := s.IPC(clock, 0); got != 0.5 {
+		t.Errorf("IPC = %v, want 0.5", got)
+	}
+	unfinished := Stats{Retired: 500}
+	if got := unfinished.IPC(clock, units.Time(500*units.Nanosecond)); got != 0.5 {
+		t.Errorf("unfinished IPC = %v, want 0.5", got)
+	}
+}

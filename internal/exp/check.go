@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tetriswrite/internal/analytic"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/tetris"
+)
+
+// CheckResult is one verified qualitative claim of the reproduction.
+type CheckResult struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// CheckShapes runs the evaluation at the given scale and verifies the
+// paper's qualitative claims — the "reproduction certificate" behind
+// `tetrisbench -check`. Absolute numbers are platform-dependent; these
+// checks pin the shapes: who wins, in what order, and where the
+// workload-dependent exceptions fall.
+func CheckShapes(opt Options) ([]CheckResult, error) {
+	opt.Normalize()
+	var out []CheckResult
+	add := func(name string, ok bool, format string, args ...any) {
+		out = append(out, CheckResult{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Equations 1-4: closed forms match the pulse schedulers.
+	par := opt.Params
+	eqOK := true
+	detail := ""
+	pairs := []struct {
+		name string
+		f    schemes.Factory
+		want func(pcm.Params) any
+	}{
+		{"eq1", schemes.NewConventional, func(p pcm.Params) any { return analytic.Conventional(p) }},
+		{"eq2", schemes.NewFlipNWrite, func(p pcm.Params) any { return analytic.FlipNWrite(p) }},
+		{"eq3", schemes.NewTwoStage, func(p pcm.Params) any { return analytic.TwoStage(p) }},
+		{"eq4", schemes.NewThreeStage, func(p pcm.Params) any { return analytic.ThreeStage(p) }},
+	}
+	old := make([]byte, par.LineBytes)
+	next := make([]byte, par.LineBytes)
+	for i := range next {
+		next[i] = byte(i * 31)
+	}
+	for _, pr := range pairs {
+		got := pr.f(par).PlanWrite(0, old, next).ServiceTime()
+		want := pr.want(par)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			eqOK = false
+			detail += fmt.Sprintf("%s: %v != %v; ", pr.name, got, want)
+		}
+	}
+	add("equations 1-4 match implementations", eqOK, "%s", strings.TrimSuffix(detail, "; "))
+
+	// Figure 4 worked example.
+	in1, in0raw := Figure4Counts()
+	in0 := make([]int, len(in0raw))
+	for i, v := range in0raw {
+		in0[i] = v * par.CurrentReset
+	}
+	pk := tetris.Packer{Budget: par.ChipBudget, K: par.K(), Cost1: par.CurrentSet, Cost0: par.CurrentReset}
+	sched := pk.Pack(in1, in0)
+	add("figure 4: result=2, subresult=0", sched.Result == 2 && sched.SubResult == 0,
+		"result=%d subresult=%d", sched.Result, sched.SubResult)
+
+	// Figure 3 shape.
+	f3 := tableRows(Figure3(opt).String())
+	avg := f3["average"]
+	ok := len(avg) == 3 && avg[1] > avg[0] && avg[2] > 6 && avg[2] < 13 &&
+		f3["blackscholes"][2] < f3["vips"][2]
+	add("figure 3: SET-dominant, ~9.6 bits/unit, blackscholes<vips", ok,
+		"avg RESET=%.2f SET=%.2f total=%.2f", avg[0], avg[1], avg[2])
+
+	// Figure 10 shape.
+	f10 := tableRows(Figure10(opt).String())
+	a := f10["average"]
+	ok = len(a) == 5 && a[0] == 8 && a[1] == 4 &&
+		a[2] > 2.9 && a[2] <= 3.0 && a[3] > 2.4 && a[3] <= 2.5 &&
+		a[4] < a[3] && a[4] >= 0.8 && a[4] <= 1.8
+	add("figure 10: 8 / 4 / ~3 / ~2.5 / ~1.0-1.5 write units", ok,
+		"avg = %.2f %.2f %.2f %.2f %.2f", a[0], a[1], a[2], a[3], a[4])
+
+	// Figures 11-14: scheme ordering on the geomean.
+	fr, err := RunFullSystem(opt)
+	if err != nil {
+		return nil, err
+	}
+	ordering := func(name, rendered string, increasing bool) {
+		g := tableRows(rendered)["geomean"]
+		okOrd := len(g) == 5 && g[0] == 1
+		for i := 1; i < len(g); i++ {
+			if increasing && g[i] <= g[i-1] {
+				okOrd = false
+			}
+			if !increasing && g[i] >= g[i-1] {
+				okOrd = false
+			}
+		}
+		add(name, okOrd, "geomean = %.3f %.3f %.3f %.3f %.3f", g[0], g[1], g[2], g[3], g[4])
+	}
+	ordering("figure 11: read latency ordering", fr.Figure11().String(), false)
+	ordering("figure 12: write latency ordering", fr.Figure12().String(), false)
+	ordering("figure 13: IPC ordering", fr.Figure13().String(), true)
+	ordering("figure 14: running time ordering", fr.Figure14().String(), false)
+
+	// The paper's workload-dependent exception: read-dominant
+	// blackscholes and swaptions gain almost no write latency.
+	f12 := tableRows(fr.Figure12().String())
+	bs, sw := f12["blackscholes"], f12["swaptions"]
+	// Threshold 0.75: at small instruction budgets these workloads issue
+	// only a handful of writes and the ratio is noisy; memory-bound
+	// workloads sit far below at 0.25-0.65.
+	ok = bs != nil && sw != nil && bs[4] > 0.75 && sw[4] > 0.75
+	add("figure 12: read-dominant workloads barely improve", ok,
+		"blackscholes=%.3f swaptions=%.3f (tetris column)", bs[4], sw[4])
+
+	return out, nil
+}
+
+// tableRows extracts numeric cells per label from a rendered table.
+func tableRows(out string) map[string][]float64 {
+	rows := map[string][]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var vals []float64
+		for _, f := range fields[1:] {
+			if v, err := strconv.ParseFloat(f, 64); err == nil {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) > 0 {
+			rows[fields[0]] = vals
+		}
+	}
+	return rows
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"tetriswrite/internal/stats"
+	"tetriswrite/internal/workload"
+)
+
+// LineSizeSweep quantifies the paper's motivating observation about
+// growing last-level cache lines (64 B commodity, 128 B POWER7, 256 B
+// zEnterprise): the number of serial write units per line write for every
+// scheme at each line size, averaged across the 8 workloads. The static
+// schemes scale linearly with the line; Tetris Write scales with the
+// actual changed bits.
+func LineSizeSweep(opt Options) *stats.Table {
+	opt.Normalize()
+	set := SchemeSet()
+	cols := append([]string{"line"}, names(set)...)
+	tb := stats.NewTable("Line-size sweep: average write units per line write", cols...)
+	for _, line := range []int{64, 128, 256} {
+		par := opt.Params
+		par.LineBytes = line
+		o := opt
+		o.Params = par
+		row := []any{line}
+		for _, nf := range set {
+			var sum float64
+			profs := workload.Profiles()
+			for _, prof := range profs {
+				sum += MeasureWriteUnits(prof, nf.Factory(par), o)
+			}
+			row = append(row, sum/float64(len(profs)))
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// BudgetSweep is the mobile scenario of the paper's introduction: the
+// per-chip power budget shrinks from 32 SET-currents down to 4 (the
+// "4 and 2 bits" division-write regime), and the write units per line
+// grow for every scheme — least for Tetris Write.
+func BudgetSweep(opt Options) *stats.Table {
+	opt.Normalize()
+	set := SchemeSet()
+	cols := append([]string{"budget"}, names(set)...)
+	tb := stats.NewTable("Power-budget sweep: average write units per line write", cols...)
+	for _, budget := range []int{32, 16, 8, 4} {
+		par := opt.Params
+		par.ChipBudget = budget
+		o := opt
+		o.Params = par
+		row := []any{budget}
+		for _, nf := range set {
+			var sum float64
+			profs := workload.Profiles()
+			for _, prof := range profs {
+				sum += MeasureWriteUnits(prof, nf.Factory(par), o)
+			}
+			row = append(row, sum/float64(len(profs)))
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}

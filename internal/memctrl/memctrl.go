@@ -1,0 +1,727 @@
+// Package memctrl models the PCM memory controller of the paper's
+// Table II: separate 32-entry read and write queues, read-priority
+// FR-FCFS scheduling (with no row buffers in the PCM model, this is FCFS
+// per bank with reads first), bank-level parallelism across 8 banks, and
+// a write-drain policy that services writes only when the write queue
+// fills — the behaviour responsible for the paper's observation that
+// read-dominant workloads (blackscholes, swaptions) see little write
+// latency benefit.
+package memctrl
+
+import (
+	"fmt"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/stats"
+	"tetriswrite/internal/units"
+)
+
+// Config tunes the controller. Zero values take the paper's defaults via
+// Normalize.
+type Config struct {
+	ReadQueue  int // read queue capacity (default 32)
+	WriteQueue int // write queue capacity (default 32)
+	// DrainLow is the write-queue depth at which a drain stops (default
+	// half the queue; negative means drain to empty). A drain starts
+	// when the write queue is full.
+	DrainLow int
+	// OpportunisticWrites lets idle banks service writes even when no
+	// drain is active and no read wants them (ablation; the paper's
+	// controller services writes only on a full write queue).
+	OpportunisticWrites bool
+	// DisableCoalescing stops the controller from merging a new write
+	// with a queued write to the same line (coalescing is on by default,
+	// as in real write buffers).
+	DisableCoalescing bool
+	// ForwardLatency is the latency of serving a read from the write
+	// queue (store-to-load forwarding). Default: one memory bus cycle.
+	ForwardLatency units.Duration
+	// WritePausing lets a read interrupt an in-flight write at the next
+	// sub-write-unit boundary (one Treset away), stealing the bank for
+	// TRead and then resuming the write's remainder — the write-pausing
+	// technique of Qureshi et al. (HPCA'10), which the paper cites as the
+	// reason writes are "not on the critical path". Off by default (the
+	// paper's controller does not pause).
+	WritePausing bool
+	// WriteCancellation extends write pausing with the adaptive policy of
+	// Qureshi et al. (HPCA'10): when a blocked read arrives early in a
+	// write's execution (progress below CancelThreshold), the write is
+	// cancelled outright — the bank frees after the current
+	// sub-write-unit and the write requeues at the head of the write
+	// queue — instead of merely pausing. Late-arriving reads still pause.
+	// Requires WritePausing.
+	WriteCancellation bool
+	// CancelThreshold is the progress fraction below which a blocked
+	// read cancels rather than pauses (default 0.5).
+	CancelThreshold float64
+	// IdlePreset enables PreSET (Qureshi et al., ISCA'12): idle banks
+	// proactively SET the cells of lines hinted via PresetHint (lines
+	// that went dirty in the LLC, whose memory copy is dead anyway), so
+	// their eventual write-back needs only fast RESETs. Requires a
+	// scheme implementing schemes.Presetter and a dirty-checker wired
+	// with SetDirtyChecker; hints are dropped otherwise.
+	IdlePreset bool
+	// PresetQueue bounds the number of outstanding preset hints
+	// (default 64).
+	PresetQueue int
+	// Subarrays models subarray-level parallelism inside a bank (the
+	// paper's references [13][15]): reads to a different subarray may
+	// proceed while a write occupies the bank, because only the write
+	// driver and its subarray's sense path are tied up. 1 (the default)
+	// is the paper's monolithic bank; writes always need the whole bank.
+	Subarrays int
+}
+
+// Normalize fills defaults in place.
+func (c *Config) Normalize(par pcm.Params) {
+	if c.ReadQueue <= 0 {
+		c.ReadQueue = 32
+	}
+	if c.WriteQueue <= 0 {
+		c.WriteQueue = 32
+	}
+	if c.DrainLow == 0 {
+		c.DrainLow = c.WriteQueue / 2
+	}
+	if c.DrainLow < 0 {
+		c.DrainLow = 0
+	}
+	if c.DrainLow > c.WriteQueue {
+		c.DrainLow = c.WriteQueue
+	}
+	if c.ForwardLatency <= 0 {
+		c.ForwardLatency = par.MemClock.Period()
+	}
+	if c.PresetQueue <= 0 {
+		c.PresetQueue = 64
+	}
+	if c.CancelThreshold <= 0 || c.CancelThreshold > 1 {
+		c.CancelThreshold = 0.5
+	}
+	if c.Subarrays <= 0 {
+		c.Subarrays = 1
+	}
+}
+
+type request struct {
+	write    bool
+	addr     pcm.LineAddr
+	data     []byte
+	enqueued units.Time
+	onDone   func(at units.Time)
+}
+
+// Stats aggregates controller activity. Latencies are measured from
+// enqueue to completion, the quantity the paper's Figures 11 and 12
+// report.
+type Stats struct {
+	Reads            int64
+	Writes           int64
+	ForwardedReads   int64
+	Coalesced        int64
+	ReadLatency      stats.Latency
+	WriteLatency     stats.Latency
+	WriteUnits       float64 // accumulated Figure 10 metric
+	BitSets          int64
+	BitResets        int64
+	Drains           int64
+	StallRejects     int64 // submissions rejected because a queue was full
+	Pauses           int64 // writes paused to service a read
+	Cancellations    int64 // writes cancelled and requeued for a read
+	Presets          int64 // idle-time PreSET operations executed
+	PresetDropped    int64 // hints dropped (queue full or stale)
+	SubarrayOverlaps int64 // reads serviced while a write held the bank
+}
+
+// Controller is the memory controller plus its banks. It is driven
+// entirely by the simulation engine; all methods must be called from the
+// engine's goroutine (event callbacks).
+type Controller struct {
+	eng *sim.Engine
+	par pcm.Params
+	cfg Config
+	dev *pcm.Device
+
+	banks  []*bank
+	readQ  []*request
+	writeQ []*request
+
+	draining  bool
+	spaceWait []func() // woken (once each) when write-queue space appears
+	idleWait  []func() // woken when everything drains
+	stats     Stats
+
+	// PreSET state.
+	presetQ    []pcm.LineAddr
+	presetSet  map[pcm.LineAddr]bool
+	stillDirty func(pcm.LineAddr) bool
+	allOnes    []byte
+
+	// wear, when attached, receives the scheme's actual pulse count per
+	// line write — the endurance-relevant quantity (redundant pulses of
+	// non-comparing schemes wear cells even when the value is unchanged).
+	wear *pcm.WearTracker
+}
+
+// SetWearTracker attaches per-line pulse accounting.
+func (c *Controller) SetWearTracker(w *pcm.WearTracker) { c.wear = w }
+
+type bank struct {
+	scheme schemes.Scheme
+	// write is the in-flight write (or preset), if any; reads maps a
+	// subarray index to its in-flight read. With Subarrays == 1 the two
+	// are mutually exclusive (monolithic bank); with more, reads may
+	// overlap a write in a different subarray.
+	write *request
+	reads map[int]*request
+	// Write-pausing state: gen invalidates stale completion events after
+	// a pause extends the write; writeEnd is the current scheduled
+	// completion; pausing guards against double-pausing.
+	gen        uint64
+	writeStart units.Time
+	writeEnd   units.Time
+	pausing    bool
+	// busyTime accumulates array occupancy for the utilization report.
+	busyTime units.Duration
+}
+
+// idle reports whether nothing at all is in flight on the bank.
+func (b *bank) idle() bool { return b.write == nil && len(b.reads) == 0 }
+
+// New builds a controller over the device using one scheme instance per
+// bank.
+func New(eng *sim.Engine, dev *pcm.Device, factory schemes.Factory, cfg Config) *Controller {
+	par := dev.Params()
+	cfg.Normalize(par)
+	c := &Controller{eng: eng, par: par, cfg: cfg, dev: dev}
+	for i := 0; i < par.NumBanks; i++ {
+		c.banks = append(c.banks, &bank{scheme: factory(par), reads: make(map[int]*request)})
+	}
+	return c
+}
+
+// Params returns the device parameters the controller was built with.
+func (c *Controller) Params() pcm.Params { return c.par }
+
+// Stats returns a snapshot of the controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+func (c *Controller) bankOf(addr pcm.LineAddr) *bank {
+	return c.banks[int(addr)%len(c.banks)]
+}
+
+// subarrayOf returns the subarray a line lives in within its bank.
+func (c *Controller) subarrayOf(addr pcm.LineAddr) int {
+	return int(int64(addr)/int64(len(c.banks))) % c.cfg.Subarrays
+}
+
+// SubmitRead enqueues a read. It returns false (and records a stall) if
+// the read queue is full; the caller should retry after other activity,
+// e.g. via WhenWriteSpace or a later event.
+func (c *Controller) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool {
+	if len(c.readQ) >= c.cfg.ReadQueue {
+		c.stats.StallRejects++
+		return false
+	}
+	c.stats.Reads++
+	// Store-to-load forwarding: the freshest matching write wins.
+	if d := c.forwardData(addr); d != nil {
+		c.stats.ForwardedReads++
+		at := c.eng.Now().Add(c.cfg.ForwardLatency)
+		payload := append([]byte(nil), d...)
+		lat := c.cfg.ForwardLatency
+		c.eng.At(at, func() {
+			c.stats.ReadLatency.Add(lat)
+			onDone(at, payload)
+		})
+		return true
+	}
+	req := &request{addr: addr, enqueued: c.eng.Now()}
+	req.onDone = func(at units.Time) {
+		buf := make([]byte, c.par.LineBytes)
+		c.dev.ReadLine(addr, buf)
+		onDone(at, buf)
+	}
+	c.readQ = append(c.readQ, req)
+	c.schedule()
+	return true
+}
+
+// forwardData returns the data of the youngest pending or in-flight write
+// to addr, or nil.
+func (c *Controller) forwardData(addr pcm.LineAddr) []byte {
+	for i := len(c.writeQ) - 1; i >= 0; i-- {
+		if c.writeQ[i].addr == addr {
+			return c.writeQ[i].data
+		}
+	}
+	if b := c.bankOf(addr); b.write != nil && b.write.addr == addr {
+		return b.write.data
+	}
+	return nil
+}
+
+// SubmitWrite enqueues a write of data (copied) to addr. It returns false
+// if the write queue is full; the caller should stall and retry from a
+// WhenWriteSpace callback.
+func (c *Controller) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at units.Time)) bool {
+	if len(data) != c.par.LineBytes {
+		panic(fmt.Sprintf("memctrl: write of %d bytes, line is %d", len(data), c.par.LineBytes))
+	}
+	if !c.cfg.DisableCoalescing {
+		for _, r := range c.writeQ {
+			if r.addr == addr {
+				copy(r.data, data)
+				c.stats.Coalesced++
+				c.stats.Writes++
+				if onDone != nil {
+					prev := r.onDone
+					r.onDone = func(at units.Time) {
+						if prev != nil {
+							prev(at)
+						}
+						onDone(at)
+					}
+				}
+				return true
+			}
+		}
+	}
+	if len(c.writeQ) >= c.cfg.WriteQueue {
+		c.stats.StallRejects++
+		return false
+	}
+	c.stats.Writes++
+	req := &request{
+		write:    true,
+		addr:     addr,
+		data:     append([]byte(nil), data...),
+		enqueued: c.eng.Now(),
+	}
+	if onDone != nil {
+		req.onDone = onDone
+	}
+	c.writeQ = append(c.writeQ, req)
+	if len(c.writeQ) >= c.cfg.WriteQueue {
+		// Queue just filled: enter drain mode.
+		if !c.draining {
+			c.draining = true
+			c.stats.Drains++
+		}
+	}
+	c.schedule()
+	return true
+}
+
+// WhenWriteSpace registers fn to run (once) the next time write-queue
+// space frees up. If space exists now, fn runs on the next event.
+func (c *Controller) WhenWriteSpace(fn func()) {
+	if len(c.writeQ) < c.cfg.WriteQueue {
+		c.eng.After(0, fn)
+		return
+	}
+	c.spaceWait = append(c.spaceWait, fn)
+}
+
+// WhenIdle registers fn to run once both queues are empty and all banks
+// are idle. Used to flush at the end of a simulation; entering this state
+// force-drains remaining writes.
+func (c *Controller) WhenIdle(fn func()) {
+	c.idleWait = append(c.idleWait, fn)
+	c.draining = true // flush whatever is left
+	c.schedule()
+	c.checkIdle()
+}
+
+func (c *Controller) checkIdle() {
+	if len(c.readQ) != 0 || len(c.writeQ) != 0 {
+		return
+	}
+	for _, b := range c.banks {
+		if !b.idle() {
+			return
+		}
+	}
+	waiters := c.idleWait
+	c.idleWait = nil
+	for _, fn := range waiters {
+		c.eng.After(0, fn)
+	}
+}
+
+// schedule hands work to every bank according to the policy: oldest
+// serviceable read first (reads may overlap a write in another subarray
+// when Subarrays > 1); writes only on a fully idle bank, and only while
+// draining (or opportunistically, if configured).
+func (c *Controller) schedule() {
+	for _, b := range c.banks {
+		c.startReads(b)
+		if b.write != nil {
+			c.tryPause(b)
+			continue
+		}
+		if !b.idle() {
+			continue
+		}
+		if req := c.pickWrite(b); req != nil {
+			c.startWrite(b, req)
+			continue
+		}
+		c.tryPreset(b)
+	}
+}
+
+// startReads launches every queued read this bank can service right now.
+func (c *Controller) startReads(b *bank) {
+	for i := 0; i < len(c.readQ); {
+		r := c.readQ[i]
+		if c.bankOf(r.addr) != b || !c.canRead(b, r.addr) {
+			i++
+			continue
+		}
+		c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+		c.startRead(b, r)
+	}
+}
+
+// canRead reports whether the read's subarray is free and not blocked by
+// the in-flight write.
+func (c *Controller) canRead(b *bank, addr pcm.LineAddr) bool {
+	sub := c.subarrayOf(addr)
+	if _, busy := b.reads[sub]; busy {
+		return false
+	}
+	if b.write == nil {
+		return true
+	}
+	if c.cfg.Subarrays <= 1 {
+		return false
+	}
+	return c.subarrayOf(b.write.addr) != sub
+}
+
+func (c *Controller) pickWrite(b *bank) *request {
+	if !c.draining && !c.cfg.OpportunisticWrites {
+		return nil
+	}
+	for i, r := range c.writeQ {
+		if c.bankOf(r.addr) == b {
+			c.writeQ = append(c.writeQ[:i], c.writeQ[i+1:]...)
+			c.noteWriteSpace()
+			return r
+		}
+	}
+	return nil
+}
+
+// noteWriteSpace wakes space waiters and ends a drain that reached its
+// low-water mark.
+func (c *Controller) noteWriteSpace() {
+	if c.draining && len(c.writeQ) <= c.cfg.DrainLow && len(c.idleWait) == 0 {
+		c.draining = false
+	}
+	waiters := c.spaceWait
+	c.spaceWait = nil
+	for _, fn := range waiters {
+		c.eng.After(0, fn)
+	}
+}
+
+func (c *Controller) startRead(b *bank, req *request) {
+	sub := c.subarrayOf(req.addr)
+	b.reads[sub] = req
+	if b.write != nil {
+		c.stats.SubarrayOverlaps++
+	}
+	svc := c.par.ReadServiceTime()
+	b.busyTime += svc
+	done := c.eng.Now().Add(svc)
+	c.eng.At(done, func() {
+		delete(b.reads, sub)
+		c.finish(req, done)
+	})
+}
+
+func (c *Controller) startWrite(b *bank, req *request) {
+	b.write = req
+	old := make([]byte, c.par.LineBytes)
+	c.dev.PeekLine(req.addr, old)
+	plan := b.scheme.PlanWrite(req.addr, old, req.data)
+	sets, resets := plan.Counts()
+	c.stats.BitSets += int64(sets)
+	c.stats.BitResets += int64(resets)
+	c.stats.WriteUnits += plan.WriteUnits()
+	if c.wear != nil {
+		c.wear.Record(req.addr, sets+resets)
+	}
+	b.busyTime += plan.ServiceTime()
+	b.writeStart = c.eng.Now()
+	b.writeEnd = c.eng.Now().Add(plan.ServiceTime())
+	c.scheduleWriteCompletion(b, req)
+}
+
+// scheduleWriteCompletion arms the completion event for the bank's
+// in-flight write at its current writeEnd. The event self-invalidates if
+// a pause has re-scheduled the write since.
+func (c *Controller) scheduleWriteCompletion(b *bank, req *request) {
+	gen := b.gen
+	end := b.writeEnd
+	c.eng.At(end, func() {
+		if b.gen != gen || b.write != req {
+			return
+		}
+		c.dev.WriteLine(req.addr, req.data)
+		b.write = nil
+		b.gen++ // invalidate any in-flight pause boundary events
+		c.finish(req, end)
+	})
+}
+
+// tryPause interrupts the bank's in-flight write for the oldest read
+// targeting it, if write pausing is enabled and worthwhile.
+func (c *Controller) tryPause(b *bank) {
+	if !c.cfg.WritePausing || b.pausing || b.write == nil {
+		return
+	}
+	if !c.hasBlockedReadFor(b) {
+		return
+	}
+	// The current sub-write-unit must drain before the bank can switch:
+	// the pause point is one Treset away. Not worth it if the write
+	// finishes first.
+	boundary := c.eng.Now().Add(c.par.TReset)
+	if boundary >= b.writeEnd {
+		return
+	}
+	b.pausing = true
+	req := b.write
+	gen := b.gen
+	c.eng.At(boundary, func() {
+		if b.gen != gen || b.write != req {
+			b.pausing = false
+			return
+		}
+		r := c.popBlockedReadFor(b)
+		if r == nil {
+			b.pausing = false
+			return
+		}
+		// Adaptive policy: a read arriving early in the write cancels it
+		// (the little progress made is cheap to redo); a late read only
+		// pauses (most of the write would be wasted).
+		if c.cfg.WriteCancellation {
+			total := b.writeEnd.Sub(b.writeStart)
+			progress := float64(boundary.Sub(b.writeStart)) / float64(total)
+			if progress < c.cfg.CancelThreshold {
+				c.stats.Cancellations++
+				b.gen++
+				b.write = nil
+				b.pausing = false
+				// The cancelled write re-executes from scratch later:
+				// requeue at the head so it is not starved further.
+				c.writeQ = append([]*request{req}, c.writeQ...)
+				// Put the read back too: the normal scheduler path will
+				// start it on the now-free bank in order.
+				c.readQ = append([]*request{r}, c.readQ...)
+				c.schedule()
+				return
+			}
+		}
+		c.stats.Pauses++
+		// Invalidate the write's original completion event NOW: it could
+		// otherwise fire inside the pause window and complete a write
+		// that is supposed to be suspended.
+		b.gen++
+		remaining := b.writeEnd.Sub(boundary)
+		readDone := boundary.Add(c.par.TRead)
+		c.eng.At(readDone, func() {
+			c.stats.ReadLatency.Add(readDone.Sub(r.enqueued))
+			if r.onDone != nil {
+				r.onDone(readDone)
+			}
+			// Resume the write: its remainder executes after the read.
+			b.writeEnd = readDone.Add(remaining)
+			b.pausing = false
+			c.scheduleWriteCompletion(b, req)
+			c.schedule() // another read may want to pause again
+		})
+	})
+}
+
+// blockedBy reports whether a queued read is blocked specifically by the
+// bank's in-flight write (same subarray, or a monolithic bank).
+func (c *Controller) blockedBy(b *bank, addr pcm.LineAddr) bool {
+	if b.write == nil {
+		return false
+	}
+	return c.cfg.Subarrays <= 1 || c.subarrayOf(b.write.addr) == c.subarrayOf(addr)
+}
+
+func (c *Controller) hasBlockedReadFor(b *bank) bool {
+	for _, r := range c.readQ {
+		if c.bankOf(r.addr) == b && c.blockedBy(b, r.addr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) popBlockedReadFor(b *bank) *request {
+	for i, r := range c.readQ {
+		if c.bankOf(r.addr) == b && c.blockedBy(b, r.addr) {
+			c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// finish completes a request: latency accounting, callback, rescheduling.
+// The caller has already released the bank resource the request held.
+func (c *Controller) finish(req *request, at units.Time) {
+	lat := at.Sub(req.enqueued)
+	if req.write {
+		c.stats.WriteLatency.Add(lat)
+	} else {
+		c.stats.ReadLatency.Add(lat)
+	}
+	if req.onDone != nil {
+		req.onDone(at)
+	}
+	c.schedule()
+	c.checkIdle()
+}
+
+// SetDirtyChecker wires the LLC's dirtiness oracle for PreSET: a hinted
+// line is preset only while its memory copy is dead (a dirty copy lives
+// in the cache hierarchy). Without a checker, hints are dropped.
+func (c *Controller) SetDirtyChecker(fn func(pcm.LineAddr) bool) { c.stillDirty = fn }
+
+// PresetHint enqueues a line for idle-time presetting. Call it when the
+// line goes dirty in the last-level cache.
+func (c *Controller) PresetHint(addr pcm.LineAddr) {
+	if !c.cfg.IdlePreset {
+		return
+	}
+	if c.presetSet == nil {
+		c.presetSet = make(map[pcm.LineAddr]bool)
+	}
+	if c.presetSet[addr] {
+		return
+	}
+	if len(c.presetQ) >= c.cfg.PresetQueue {
+		c.stats.PresetDropped++
+		return
+	}
+	c.presetSet[addr] = true
+	c.presetQ = append(c.presetQ, addr)
+	c.schedule()
+}
+
+// tryPreset runs one preset on an idle bank if a suitable hint exists.
+// It returns true if the bank was put to work.
+func (c *Controller) tryPreset(b *bank) bool {
+	if !c.cfg.IdlePreset || c.draining || c.stillDirty == nil {
+		return false
+	}
+	if !b.idle() {
+		return false
+	}
+	ps, ok := b.scheme.(schemes.Presetter)
+	if !ok {
+		return false
+	}
+	for i, addr := range c.presetQ {
+		if c.bankOf(addr) != b {
+			continue
+		}
+		c.presetQ = append(c.presetQ[:i], c.presetQ[i+1:]...)
+		delete(c.presetSet, addr)
+		// Stale hints: the line was cleaned (written back) or has a
+		// write queued; presetting now would destroy live data.
+		if !c.stillDirty(addr) || c.hasQueuedWrite(addr) {
+			c.stats.PresetDropped++
+			return false
+		}
+		c.stats.Presets++
+		old := make([]byte, c.par.LineBytes)
+		c.dev.PeekLine(addr, old)
+		plan := ps.PlanPreset(addr, old)
+		sets, resets := plan.Counts()
+		c.stats.BitSets += int64(sets)
+		c.stats.BitResets += int64(resets)
+		if c.wear != nil {
+			c.wear.Record(addr, sets+resets)
+		}
+		if c.allOnes == nil {
+			c.allOnes = make([]byte, c.par.LineBytes)
+			for i := range c.allOnes {
+				c.allOnes[i] = 0xFF
+			}
+		}
+		req := &request{write: true, addr: addr, data: c.allOnes, enqueued: c.eng.Now()}
+		b.write = req
+		b.writeEnd = c.eng.Now().Add(plan.ServiceTime())
+		gen := b.gen
+		end := b.writeEnd
+		c.eng.At(end, func() {
+			if b.gen != gen || b.write != req {
+				return
+			}
+			c.dev.Preload(addr, c.allOnes) // logical all-ones, no pulse recount
+			b.write = nil
+			b.gen++
+			c.schedule()
+			c.checkIdle()
+		})
+		return true
+	}
+	return false
+}
+
+func (c *Controller) hasQueuedWrite(addr pcm.LineAddr) bool {
+	for _, r := range c.writeQ {
+		if r.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Snoop copies the freshest value of a line into dst, exactly as the
+// controller's own read-forwarding logic would see it: the youngest
+// queued or in-flight write's data if any, else the stored device
+// contents. Wear-leveling gap moves use it to snapshot a line without
+// losing queued updates.
+func (c *Controller) Snoop(addr pcm.LineAddr, dst []byte) {
+	if d := c.forwardData(addr); d != nil {
+		copy(dst, d)
+		return
+	}
+	c.dev.PeekLine(addr, dst)
+}
+
+// QueueDepths reports the current read and write queue occupancy, for
+// tests and debugging.
+func (c *Controller) QueueDepths() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// BankUtilization returns each bank's array occupancy as a fraction of
+// the elapsed simulated time (can exceed 1 with subarray overlap).
+func (c *Controller) BankUtilization() []float64 {
+	now := units.Duration(c.eng.Now())
+	out := make([]float64, len(c.banks))
+	if now == 0 {
+		return out
+	}
+	for i, b := range c.banks {
+		out[i] = float64(b.busyTime) / float64(now)
+	}
+	return out
+}
+
+// Draining reports whether a write drain is in progress.
+func (c *Controller) Draining() bool { return c.draining }

@@ -1,0 +1,196 @@
+package pcm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LineAddr identifies one cache-line-sized region of the PCM address
+// space: the byte address divided by the line size.
+type LineAddr int64
+
+// Device is the stateful PCM array: the stored contents of every line plus
+// energy and wear accounting. Contents are stored sparsely; untouched
+// lines read as all zeros, matching a freshly RESET array.
+//
+// Device is safe for concurrent use; the full-system simulator services
+// several banks from one device, and parallel experiment sweeps share
+// read-only parameters but never a Device.
+type Device struct {
+	params Params
+
+	mu    sync.Mutex
+	lines map[LineAddr][]byte
+	stats DeviceStats
+	wear  *WearTracker // optional per-line wear accounting
+}
+
+// DeviceStats aggregates programming activity on a device. All counters
+// are cumulative since construction.
+type DeviceStats struct {
+	LineReads   int64 // cache-line read operations
+	LineWrites  int64 // cache-line write operations
+	BitSets     int64 // SET pulses actually driven
+	BitResets   int64 // RESET pulses actually driven
+	BitsWritten int64 // BitSets + BitResets
+	BitsSkipped int64 // cells covered by a write whose value was unchanged
+}
+
+// NewDevice creates an empty device with the given parameters, which must
+// validate.
+func NewDevice(p Params) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		params: p,
+		lines:  make(map[LineAddr][]byte),
+	}, nil
+}
+
+// MustNewDevice is NewDevice for known-good parameters, panicking on
+// error. It exists for tests and examples.
+func MustNewDevice(p Params) *Device {
+	d, err := NewDevice(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Params returns the device configuration.
+func (d *Device) Params() Params { return d.params }
+
+func (d *Device) checkAddr(addr LineAddr) {
+	if addr < 0 || int64(addr) >= d.params.Lines() {
+		panic(fmt.Sprintf("pcm: line address %d out of range [0, %d)", addr, d.params.Lines()))
+	}
+}
+
+// ReadLine copies the stored contents of addr into dst, which must be
+// exactly one line long. It counts as one array read.
+func (d *Device) ReadLine(addr LineAddr, dst []byte) {
+	d.checkAddr(addr)
+	if len(dst) != d.params.LineBytes {
+		panic("pcm: ReadLine buffer size mismatch")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.LineReads++
+	if stored, ok := d.lines[addr]; ok {
+		copy(dst, stored)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+}
+
+// PeekLine is ReadLine without the statistics side effect, for checkers
+// and debug output.
+func (d *Device) PeekLine(addr LineAddr, dst []byte) {
+	d.checkAddr(addr)
+	if len(dst) != d.params.LineBytes {
+		panic("pcm: PeekLine buffer size mismatch")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if stored, ok := d.lines[addr]; ok {
+		copy(dst, stored)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+}
+
+// WriteLine stores data at addr and accounts for the pulses a
+// content-aware write driver would emit: only cells whose value changes
+// are counted as SET or RESET pulses, the rest are skipped (the paper's
+// PROG-enable gating). It returns the number of SET and RESET pulses.
+//
+// WriteLine models only the array state and energy; service *time* is the
+// business of the write schemes, which call this after planning.
+func (d *Device) WriteLine(addr LineAddr, data []byte) (sets, resets int) {
+	d.checkAddr(addr)
+	if len(data) != d.params.LineBytes {
+		panic("pcm: WriteLine buffer size mismatch")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stored, ok := d.lines[addr]
+	if !ok {
+		stored = make([]byte, d.params.LineBytes)
+		d.lines[addr] = stored
+	}
+	for i := range data {
+		diff := stored[i] ^ data[i]
+		setMask := diff & data[i]
+		resetMask := diff & stored[i]
+		sets += popcount8(setMask)
+		resets += popcount8(resetMask)
+	}
+	copy(stored, data)
+	d.stats.LineWrites++
+	d.stats.BitSets += int64(sets)
+	d.stats.BitResets += int64(resets)
+	d.stats.BitsWritten += int64(sets + resets)
+	d.stats.BitsSkipped += int64(8*d.params.LineBytes - sets - resets)
+	if d.wear != nil {
+		d.wear.Record(addr, sets+resets)
+	}
+	return sets, resets
+}
+
+// AttachWear routes per-line bit-write counts into a wear tracker — the
+// raw material of endurance experiments. Pass nil to detach.
+func (d *Device) AttachWear(w *WearTracker) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wear = w
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Preload installs a line's contents without any statistics side
+// effects. Simulators use it to set up a workload's initial memory image
+// before timing starts; a nil or all-zero data leaves the line untouched
+// PCM (the default).
+func (d *Device) Preload(addr LineAddr, data []byte) {
+	d.checkAddr(addr)
+	if data == nil {
+		return
+	}
+	if len(data) != d.params.LineBytes {
+		panic("pcm: Preload buffer size mismatch")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stored, ok := d.lines[addr]
+	if !ok {
+		stored = make([]byte, d.params.LineBytes)
+		d.lines[addr] = stored
+	}
+	copy(stored, data)
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// TouchedLines reports how many distinct lines have ever been written,
+// i.e. the sparse footprint of the device.
+func (d *Device) TouchedLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.lines)
+}

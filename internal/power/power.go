@@ -1,0 +1,161 @@
+// Package power models the instantaneous current constraints of a PCM
+// bank: the per-chip charge-pump budget and the bank-wide pool formed when
+// a Global Charge Pump (GCP) lets chips borrow unused current from each
+// other.
+//
+// Its central type, Profile, records every programming pulse as a
+// (track, start, end, current) interval and can then report the peak
+// simultaneous draw of any track or of the whole bank. The write-scheme
+// test suites use it as an oracle: whatever a scheduler claims, the
+// recorded pulse train must never exceed the budget at any instant.
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"tetriswrite/internal/units"
+)
+
+// Pulse is one programming pulse drawn on a track (a chip) during
+// [Start, End).
+type Pulse struct {
+	Track   int // chip index within the bank
+	Start   units.Time
+	End     units.Time
+	Current int // in SET-current units
+}
+
+// Profile accumulates pulses for later peak analysis. The zero value is
+// ready to use.
+type Profile struct {
+	pulses []Pulse
+}
+
+// Add records a pulse. Zero-current and zero-length pulses are ignored.
+// It panics on negative current or an inverted interval, which always
+// indicate a scheduler bug.
+func (p *Profile) Add(track int, start, end units.Time, current int) {
+	if current < 0 {
+		panic("power: negative pulse current")
+	}
+	if end < start {
+		panic(fmt.Sprintf("power: inverted pulse interval [%d, %d)", start, end))
+	}
+	if current == 0 || start == end {
+		return
+	}
+	p.pulses = append(p.pulses, Pulse{Track: track, Start: start, End: end, Current: current})
+}
+
+// Len returns the number of recorded pulses.
+func (p *Profile) Len() int { return len(p.pulses) }
+
+// Pulses returns the recorded pulses in insertion order. The slice is the
+// profile's own backing store; callers must not modify it.
+func (p *Profile) Pulses() []Pulse { return p.pulses }
+
+// edge is a +current at Start and a -current at End.
+type edge struct {
+	at    units.Time
+	delta int
+}
+
+func peakOf(edges []edge) int {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		// Process releases before acquisitions at the same instant: a
+		// pulse ending exactly when another starts does not overlap it.
+		return edges[i].delta < edges[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// PeakTrack returns the maximum instantaneous current ever drawn on one
+// track.
+func (p *Profile) PeakTrack(track int) int {
+	var edges []edge
+	for _, pl := range p.pulses {
+		if pl.Track != track {
+			continue
+		}
+		edges = append(edges, edge{pl.Start, pl.Current}, edge{pl.End, -pl.Current})
+	}
+	return peakOf(edges)
+}
+
+// PeakTotal returns the maximum instantaneous current ever drawn across
+// all tracks together — the constraint a Global Charge Pump enforces.
+func (p *Profile) PeakTotal() int {
+	edges := make([]edge, 0, 2*len(p.pulses))
+	for _, pl := range p.pulses {
+		edges = append(edges, edge{pl.Start, pl.Current}, edge{pl.End, -pl.Current})
+	}
+	return peakOf(edges)
+}
+
+// Tracks returns the sorted list of track indices that drew any current.
+func (p *Profile) Tracks() []int {
+	seen := map[int]bool{}
+	for _, pl := range p.pulses {
+		seen[pl.Track] = true
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// End returns the latest pulse end time, i.e. when the profile's activity
+// finishes. A profile with no pulses ends at time zero.
+func (p *Profile) End() units.Time {
+	var end units.Time
+	for _, pl := range p.pulses {
+		if pl.End > end {
+			end = pl.End
+		}
+	}
+	return end
+}
+
+// Budget describes the current constraints of one bank.
+type Budget struct {
+	PerChip int  // budget of each chip's own pump, SET-current units
+	Chips   int  // chips in the bank
+	GCP     bool // bank-wide sharing enabled
+}
+
+// Bank returns the total bank budget.
+func (b Budget) Bank() int { return b.PerChip * b.Chips }
+
+// Check verifies a profile against the budget. With GCP only the
+// bank-level sum is constrained; without it every chip must stay within
+// its own pump. A nil error means the schedule is feasible.
+func (b Budget) Check(p *Profile) error {
+	if total, bank := p.PeakTotal(), b.Bank(); total > bank {
+		return fmt.Errorf("power: bank peak %d exceeds bank budget %d", total, bank)
+	}
+	if b.GCP {
+		return nil
+	}
+	for _, tr := range p.Tracks() {
+		if tr < 0 || tr >= b.Chips {
+			return fmt.Errorf("power: pulse on unknown chip %d", tr)
+		}
+		if peak := p.PeakTrack(tr); peak > b.PerChip {
+			return fmt.Errorf("power: chip %d peak %d exceeds per-chip budget %d", tr, peak, b.PerChip)
+		}
+	}
+	return nil
+}

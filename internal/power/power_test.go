@@ -1,0 +1,155 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetriswrite/internal/units"
+)
+
+func TestEmptyProfile(t *testing.T) {
+	var p Profile
+	if p.PeakTotal() != 0 || p.PeakTrack(0) != 0 {
+		t.Error("empty profile has nonzero peak")
+	}
+	if p.End() != 0 {
+		t.Error("empty profile has nonzero end")
+	}
+	if len(p.Tracks()) != 0 {
+		t.Error("empty profile has tracks")
+	}
+}
+
+func TestOverlapPeaks(t *testing.T) {
+	var p Profile
+	p.Add(0, 0, 100, 10)
+	p.Add(0, 50, 150, 5)  // overlaps the first: peak 15 on track 0
+	p.Add(1, 60, 70, 100) // track 1 spike inside the overlap window
+	if got := p.PeakTrack(0); got != 15 {
+		t.Errorf("PeakTrack(0) = %d, want 15", got)
+	}
+	if got := p.PeakTrack(1); got != 100 {
+		t.Errorf("PeakTrack(1) = %d, want 100", got)
+	}
+	if got := p.PeakTotal(); got != 115 {
+		t.Errorf("PeakTotal = %d, want 115", got)
+	}
+	if got := p.End(); got != 150 {
+		t.Errorf("End = %d, want 150", got)
+	}
+}
+
+func TestBackToBackPulsesDoNotOverlap(t *testing.T) {
+	var p Profile
+	p.Add(0, 0, 100, 10)
+	p.Add(0, 100, 200, 10) // starts exactly when the first ends
+	if got := p.PeakTrack(0); got != 10 {
+		t.Errorf("PeakTrack = %d, want 10 (no overlap at shared instant)", got)
+	}
+}
+
+func TestZeroPulsesIgnored(t *testing.T) {
+	var p Profile
+	p.Add(0, 0, 100, 0)
+	p.Add(0, 50, 50, 10)
+	if p.Len() != 0 {
+		t.Errorf("Len = %d, want 0", p.Len())
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	var p Profile
+	for _, c := range []struct {
+		name       string
+		start, end units.Time
+		cur        int
+	}{
+		{"negative current", 0, 10, -1},
+		{"inverted interval", 10, 5, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			p.Add(0, c.start, c.end, c.cur)
+		}()
+	}
+}
+
+func TestTracks(t *testing.T) {
+	var p Profile
+	p.Add(3, 0, 10, 1)
+	p.Add(1, 0, 10, 1)
+	p.Add(3, 20, 30, 1)
+	got := p.Tracks()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Tracks = %v, want [1 3]", got)
+	}
+}
+
+func TestBudgetCheckPerChip(t *testing.T) {
+	b := Budget{PerChip: 32, Chips: 4, GCP: false}
+	var p Profile
+	p.Add(0, 0, 100, 32) // exactly at budget: fine
+	if err := b.Check(&p); err != nil {
+		t.Errorf("at-budget schedule rejected: %v", err)
+	}
+	p.Add(0, 50, 60, 1) // now 33 on chip 0
+	if err := b.Check(&p); err == nil {
+		t.Error("over-budget chip accepted without GCP")
+	}
+}
+
+func TestBudgetCheckGCPAllowsBorrowing(t *testing.T) {
+	b := Budget{PerChip: 32, Chips: 4, GCP: true}
+	var p Profile
+	p.Add(0, 0, 100, 40) // over chip budget but under bank budget (128)
+	if err := b.Check(&p); err != nil {
+		t.Errorf("GCP schedule rejected: %v", err)
+	}
+	p.Add(1, 0, 100, 89) // bank total 129 > 128
+	if err := b.Check(&p); err == nil {
+		t.Error("over-bank-budget schedule accepted")
+	}
+}
+
+func TestBudgetCheckUnknownChip(t *testing.T) {
+	b := Budget{PerChip: 32, Chips: 4}
+	var p Profile
+	p.Add(7, 0, 10, 1)
+	if err := b.Check(&p); err == nil {
+		t.Error("pulse on chip 7 of a 4-chip bank accepted")
+	}
+}
+
+// Property-style test: peak computed by the sweep equals a brute-force
+// sample of the profile at every pulse boundary.
+func TestPeakMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var p Profile
+		for i := 0; i < 30; i++ {
+			s := units.Time(rng.Intn(1000))
+			e := s + units.Time(1+rng.Intn(200))
+			p.Add(rng.Intn(3), s, e, 1+rng.Intn(10))
+		}
+		want := 0
+		for _, probe := range p.Pulses() {
+			at := probe.Start // sample just inside each pulse start
+			sum := 0
+			for _, pl := range p.Pulses() {
+				if pl.Start <= at && at < pl.End {
+					sum += pl.Current
+				}
+			}
+			if sum > want {
+				want = sum
+			}
+		}
+		if got := p.PeakTotal(); got != want {
+			t.Fatalf("trial %d: PeakTotal = %d, brute force = %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package schemes
+
+import (
+	"fmt"
+
+	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/units"
+)
+
+// Array is a bit-accurate model of the encoded PCM cells of one line set:
+// the data cells plus the flip cell of every (chip, data unit) pair. It
+// replays the pulse trains of Plans and decodes the logical contents, so
+// tests and examples can verify that whatever a scheme schedules actually
+// leaves the right bits in the array. A fresh Array is all zeros with all
+// flip cells cleared, matching a fresh Device and fresh scheme state.
+type Array struct {
+	par   pcm.Params
+	lines map[pcm.LineAddr]*arrayLine
+}
+
+type arrayLine struct {
+	bits  []uint16 // [unit*nchips + chip]
+	flips []bool
+}
+
+// NewArray returns an empty encoded-cell model.
+func NewArray(par pcm.Params) *Array {
+	return &Array{par: par, lines: make(map[pcm.LineAddr]*arrayLine)}
+}
+
+func (a *Array) line(addr pcm.LineAddr) *arrayLine {
+	l, ok := a.lines[addr]
+	if !ok {
+		n := a.par.DataUnits() * a.par.NumChips
+		l = &arrayLine{bits: make([]uint16, n), flips: make([]bool, n)}
+		a.lines[addr] = l
+	}
+	return l
+}
+
+func (a *Array) idx(c, u int) int { return u*a.par.NumChips + c }
+
+// Apply replays a plan's pulses onto the line's encoded cells, in pulse
+// start-time order. Overlapping same-cell pulses were already excluded by
+// Plan.Validate; order therefore does not matter for correctness, but
+// replaying in time order keeps the model honest.
+func (a *Array) Apply(addr pcm.LineAddr, p Plan) {
+	l := a.line(addr)
+	sorted := p
+	sorted.Pulses = append([]Pulse(nil), p.Pulses...)
+	sorted.SortPulses()
+	for _, pl := range sorted.Pulses {
+		i := a.idx(pl.Chip, pl.Unit)
+		if pl.Kind == Set {
+			l.bits[i] |= pl.Mask
+			if pl.FlipCell {
+				l.flips[i] = true
+			}
+		} else {
+			l.bits[i] &^= pl.Mask
+			if pl.FlipCell {
+				l.flips[i] = false
+			}
+		}
+	}
+}
+
+// Logical decodes the stored cells of one line into its logical bytes.
+func (a *Array) Logical(addr pcm.LineAddr) []byte {
+	l := a.line(addr)
+	out := make([]byte, a.par.LineBytes)
+	mask := bitutil.WidthMask(a.par.ChipWidthBits)
+	wb := a.par.ChipWidthBits / 8
+	for u := 0; u < a.par.DataUnits(); u++ {
+		for c := 0; c < a.par.NumChips; c++ {
+			i := a.idx(c, u)
+			w := l.bits[i]
+			if l.flips[i] {
+				w = ^w & mask
+			}
+			bitutil.SetChipSlice(out, a.par.NumChips, wb, c, u, w)
+		}
+	}
+	return out
+}
+
+// Encoded returns the raw stored bits and flip cell of one (chip, unit).
+func (a *Array) Encoded(addr pcm.LineAddr, c, u int) (bits uint16, flip bool) {
+	l := a.line(addr)
+	i := a.idx(c, u)
+	return l.bits[i], l.flips[i]
+}
+
+// CheckWrite is the all-in-one oracle used by the scheme test suites: it
+// validates the plan structurally, replays it, verifies the decoded
+// contents equal want, and checks the pulse train against the power
+// budget implied by the parameters. Any violation is returned as an
+// error naming the failing property.
+func (a *Array) CheckWrite(addr pcm.LineAddr, p Plan, want []byte) error {
+	if err := p.Validate(a.par); err != nil {
+		return fmt.Errorf("plan invalid: %w", err)
+	}
+	budget := PowerBudget(a.par)
+	if err := budget.Check(p.Profile(units.Time(0))); err != nil {
+		return fmt.Errorf("power violated: %w", err)
+	}
+	a.Apply(addr, p)
+	got := a.Logical(addr)
+	if bitutil.HammingBytes(got, want) != 0 {
+		return fmt.Errorf("contents wrong: %d bits differ from target", bitutil.HammingBytes(got, want))
+	}
+	return nil
+}

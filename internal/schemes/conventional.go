@@ -1,0 +1,44 @@
+package schemes
+
+import (
+	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/units"
+)
+
+// conventional is the naive write scheme: every data unit is programmed
+// serially, every cell is pulsed to its target value regardless of what
+// is stored, and each write unit is charged the worst-case SET time.
+// Service time is Equation 1 of the paper: (N/M) x Tset with the default
+// budget, where a worst-case all-RESET unit exactly fills one chip's
+// budget.
+type conventional struct {
+	par pcm.Params
+}
+
+// NewConventional returns the conventional scheme.
+func NewConventional(par pcm.Params) Scheme { return &conventional{par: par} }
+
+func (s *conventional) Name() string               { return "conventional" }
+func (s *conventional) NeedsReadBeforeWrite() bool { return false }
+
+func (s *conventional) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
+	p := basePlan(s.par)
+	nu := s.par.DataUnits()
+	lay := newStaticLayout(s.par.ChipWidthBits, s.par.CurrentReset, s.par.ChipBudget)
+	p.Write = units.Duration(lay.slots(nu)) * s.par.TSet
+	slotStart := func(i int) units.Duration { return units.Duration(i) * s.par.TSet }
+
+	width := bitutil.WidthMask(s.par.ChipWidthBits)
+	wb := s.par.ChipWidthBits / 8
+	for u := 0; u < nu; u++ {
+		for c := 0; c < s.par.NumChips; c++ {
+			w := bitutil.ChipSlice(new, s.par.NumChips, wb, c, u)
+			emitStreams(&p, lay, slotStart, c, u,
+				stream{Reset, ^w & width},
+				stream{Set, w},
+			)
+		}
+	}
+	return p
+}

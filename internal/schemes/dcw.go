@@ -1,0 +1,46 @@
+package schemes
+
+import (
+	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/units"
+)
+
+// dcw is Data-Comparison Write, the paper's baseline: read the stored
+// data first and pulse only the cells that actually change. DCW saves
+// energy and endurance but keeps the conventional worst-case *timing* —
+// the write still occupies (N/M) serial worst-case write units, plus the
+// read, because the slot reservation cannot depend on data the controller
+// has not analysed.
+type dcw struct {
+	par pcm.Params
+}
+
+// NewDCW returns the Data-Comparison Write scheme.
+func NewDCW(par pcm.Params) Scheme { return &dcw{par: par} }
+
+func (s *dcw) Name() string               { return "dcw" }
+func (s *dcw) NeedsReadBeforeWrite() bool { return true }
+
+func (s *dcw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
+	p := basePlan(s.par)
+	p.Read = s.par.TRead
+	nu := s.par.DataUnits()
+	lay := newStaticLayout(s.par.ChipWidthBits, s.par.CurrentReset, s.par.ChipBudget)
+	p.Write = units.Duration(lay.slots(nu)) * s.par.TSet
+	slotStart := func(i int) units.Duration { return units.Duration(i) * s.par.TSet }
+
+	wb := s.par.ChipWidthBits / 8
+	for u := 0; u < nu; u++ {
+		for c := 0; c < s.par.NumChips; c++ {
+			ow := bitutil.ChipSlice(old, s.par.NumChips, wb, c, u)
+			nw := bitutil.ChipSlice(new, s.par.NumChips, wb, c, u)
+			tr := bitutil.Transition16(ow, nw)
+			emitStreams(&p, lay, slotStart, c, u,
+				stream{Reset, tr.Resets},
+				stream{Set, tr.Sets},
+			)
+		}
+	}
+	return p
+}

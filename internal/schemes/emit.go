@@ -1,0 +1,67 @@
+package schemes
+
+import "tetriswrite/internal/units"
+
+// stream is one kind of cell pulses to emit for a (chip, unit) pair.
+type stream struct {
+	kind PulseKind
+	mask uint16
+}
+
+// emitStreams places the cells of the given streams into data unit u's
+// slots under the static layout: cells are consumed in stream order (and
+// bit order within a stream) and assigned capBits cells per slot starting
+// at the unit's first slot. slotStart maps slot indices to write-phase
+// offsets. One pulse record is emitted per (slot, kind) with the combined
+// mask.
+//
+// In the shared regime (slotsPerUnit == 1) all cells land in the unit's
+// single slot; in the split regime the unit's cells spill across its
+// reserved consecutive slots, never exceeding capBits cells per slot —
+// which is what keeps the chip under its budget even when a single
+// worst-case data unit would not fit it.
+func emitStreams(p *Plan, lay staticLayout, slotStart func(int) units.Duration, chip, unit int, streams ...stream) {
+	first := lay.firstSlot(unit)
+	// Accumulate per-slot masks for both kinds; units never span more
+	// than slotsPerUnit slots by construction.
+	type slotMasks struct{ set, reset uint16 }
+	acc := make([]slotMasks, lay.slotsPerUnit)
+	k := 0
+	for _, s := range streams {
+		for b := 0; b < 16; b++ {
+			if s.mask&(1<<b) == 0 {
+				continue
+			}
+			slot := k / lay.capBits
+			if slot >= len(acc) {
+				// More cells than the worst case the layout was sized
+				// for: a scheme bug, make it loud.
+				panic("schemes: emitStreams overflowed the unit's slot reservation")
+			}
+			if s.kind == Set {
+				acc[slot].set |= 1 << b
+			} else {
+				acc[slot].reset |= 1 << b
+			}
+			k++
+		}
+	}
+	for i, m := range acc {
+		start := slotStart(first + i)
+		if m.set != 0 {
+			p.Pulses = append(p.Pulses, Pulse{Chip: chip, Unit: unit, Kind: Set, Start: start, Mask: m.set})
+		}
+		if m.reset != 0 {
+			p.Pulses = append(p.Pulses, Pulse{Chip: chip, Unit: unit, Kind: Reset, Start: start, Mask: m.reset})
+		}
+	}
+}
+
+// emitFlip emits a flip-cell-only pulse in the unit's first slot. Flip
+// cells are counted for energy but not against the data budget.
+func emitFlip(p *Plan, lay staticLayout, slotStart func(int) units.Duration, chip, unit int, kind PulseKind) {
+	p.Pulses = append(p.Pulses, Pulse{
+		Chip: chip, Unit: unit, Kind: kind,
+		Start: slotStart(lay.firstSlot(unit)), FlipCell: true,
+	})
+}

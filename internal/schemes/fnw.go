@@ -1,0 +1,60 @@
+package schemes
+
+import (
+	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/units"
+)
+
+// fnw is Flip-N-Write: read-before-write plus inversion coding. If more
+// than half of a data unit's cells (counting its flip cell) would change,
+// the complement is stored instead, bounding the changed cells by half
+// the width. The halved worst case lets two data units share one write
+// unit under the default budget, halving the serial write units to
+// (N/M)/2 — Equation 2: Tread + 1/2 x (N/M) x Tset.
+type fnw struct {
+	par   pcm.Params
+	flips *flipState
+}
+
+// NewFlipNWrite returns the Flip-N-Write scheme.
+func NewFlipNWrite(par pcm.Params) Scheme {
+	return &fnw{par: par, flips: newFlipState(par.NumChips)}
+}
+
+func (s *fnw) Name() string               { return "fnw" }
+func (s *fnw) NeedsReadBeforeWrite() bool { return true }
+
+func (s *fnw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
+	p := basePlan(s.par)
+	p.Read = s.par.TRead
+	nu := s.par.DataUnits()
+	lay := newStaticLayout(s.par.ChipWidthBits/2, s.par.CurrentReset, s.par.ChipBudget)
+	p.Write = units.Duration(lay.slots(nu)) * s.par.TSet
+	slotStart := func(i int) units.Duration { return units.Duration(i) * s.par.TSet }
+
+	wb := s.par.ChipWidthBits / 8
+	for u := 0; u < nu; u++ {
+		for c := 0; c < s.par.NumChips; c++ {
+			logicalOld := bitutil.ChipSlice(old, s.par.NumChips, wb, c, u)
+			logicalNew := bitutil.ChipSlice(new, s.par.NumChips, wb, c, u)
+			oldFlip := s.flips.get(addr, c, u)
+			stored := bitutil.FlipWord{
+				Bits: s.flips.encoded(addr, c, u, s.par.ChipWidthBits, logicalOld),
+				Flip: oldFlip,
+			}
+			enc, tr, flipSet, flipReset := bitutil.FlipTransition(stored, logicalNew, s.par.ChipWidthBits)
+			s.flips.set(addr, c, u, enc.Flip)
+			emitStreams(&p, lay, slotStart, c, u,
+				stream{Reset, tr.Resets},
+				stream{Set, tr.Sets},
+			)
+			if flipSet {
+				emitFlip(&p, lay, slotStart, c, u, Set)
+			} else if flipReset {
+				emitFlip(&p, lay, slotStart, c, u, Reset)
+			}
+		}
+	}
+	return p
+}

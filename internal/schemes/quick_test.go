@@ -1,0 +1,90 @@
+package schemes
+
+// Property-based tests (testing/quick) over arbitrary line pairs: every
+// scheme must produce a valid, budget-respecting plan that stores exactly
+// the requested data, regardless of content.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tetriswrite/internal/pcm"
+)
+
+// linePair is a quick-generatable (stored, incoming) line pair with a
+// content mix that spans silent writes, sparse updates and full rewrites.
+type linePair struct {
+	Old, New []byte
+}
+
+// Generate implements quick.Generator.
+func (linePair) Generate(r *rand.Rand, size int) reflect.Value {
+	old := make([]byte, 64)
+	r.Read(old)
+	new := append([]byte(nil), old...)
+	switch r.Intn(4) {
+	case 0: // silent
+	case 1: // sparse
+		for i := 0; i < 1+r.Intn(20); i++ {
+			b := r.Intn(512)
+			new[b/8] ^= 1 << (b % 8)
+		}
+	case 2: // dense
+		r.Read(new)
+	case 3: // complement
+		for i := range new {
+			new[i] = ^old[i]
+		}
+	}
+	return reflect.ValueOf(linePair{Old: old, New: new})
+}
+
+func TestQuickSchemesCorrectness(t *testing.T) {
+	par := strictParams()
+	for _, tc := range factories {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.f(par)
+			arr := NewArray(par)
+			var addr pcm.LineAddr
+			f := func(p linePair) bool {
+				addr = (addr + 1) % 64
+				// Bring the array and scheme state to p.Old first.
+				setup := s.PlanWrite(addr, arr.Logical(addr), p.Old)
+				if err := arr.CheckWrite(addr, setup, p.Old); err != nil {
+					t.Logf("setup write: %v", err)
+					return false
+				}
+				plan := s.PlanWrite(addr, p.Old, p.New)
+				if err := arr.CheckWrite(addr, plan, p.New); err != nil {
+					t.Logf("write: %v", err)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestQuickPlanTimeNonNegative: service components are never negative and
+// pulses never outlive the write phase (already in Validate; checked here
+// across arbitrary content via the quick generator).
+func TestQuickPlanPhases(t *testing.T) {
+	par := strictParams()
+	s := NewThreeStage(par)
+	f := func(p linePair) bool {
+		plan := s.PlanWrite(0, p.Old, p.New)
+		if plan.Read < 0 || plan.Analysis < 0 || plan.Write < 0 {
+			return false
+		}
+		return plan.ServiceTime() >= plan.Write
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

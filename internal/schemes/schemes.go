@@ -1,0 +1,317 @@
+// Package schemes defines the common interface of PCM cache-line write
+// schemes and implements the state of the art the paper compares against:
+//
+//   - Conventional: serial write units, every cell pulsed, worst-case time;
+//   - DCW (the paper's baseline): read-before-write, only changed cells
+//     pulsed, but worst-case serial timing;
+//   - Flip-N-Write: inversion coding halves the worst-case changed cells,
+//     so two data units share one write unit;
+//   - 2-Stage-Write: all RESETs first (fast), then SETs packed under the
+//     lower SET current, with SET-minimizing inversion;
+//   - Three-Stage-Write: Flip-N-Write's read+flip stage glued onto
+//     2-Stage-Write, halving both stages.
+//
+// The Tetris Write scheme itself lives in package tetris; it implements
+// the same Scheme interface.
+//
+// A scheme turns one cache-line write into a Plan: a pulse schedule with
+// read/analysis/write phases. Plans are self-describing enough for three
+// independent consumers: the memory-controller simulator (service time),
+// the energy accounting (pulse counts), and the test oracles (the pulse
+// train must respect the power budget at every instant and must transform
+// the stored bits into the new data).
+package schemes
+
+import (
+	"fmt"
+	"sort"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/power"
+	"tetriswrite/internal/units"
+)
+
+// PulseKind distinguishes the two PCM programming pulses.
+type PulseKind uint8
+
+const (
+	// Set crystallizes cells: writes '1', slow, low current.
+	Set PulseKind = iota
+	// Reset amorphizes cells: writes '0', fast, high current.
+	Reset
+)
+
+// String returns "SET" or "RESET".
+func (k PulseKind) String() string {
+	if k == Set {
+		return "SET"
+	}
+	return "RESET"
+}
+
+// Pulse is one group of simultaneous same-kind pulses on one chip within
+// one data unit: the granularity the write driver actually operates at.
+type Pulse struct {
+	Chip     int            // chip index within the bank
+	Unit     int            // data unit index within the line
+	Kind     PulseKind      // SET or RESET
+	Start    units.Duration // offset from the start of the write phase
+	Mask     uint16         // data cells pulsed within the chip slice
+	FlipCell bool           // the unit's flip cell is pulsed too
+}
+
+// Bits returns the number of cells pulsed by this record, including the
+// flip cell. This is the energy-accounting count.
+func (p Pulse) Bits() int {
+	n := popcount16(p.Mask)
+	if p.FlipCell {
+		n++
+	}
+	return n
+}
+
+// DataBits returns the number of data cells pulsed by this record,
+// excluding the flip cell. This is the power-budget count: following the
+// paper's own arithmetic (its Figure 4 example counts 8+7+7+6+3 data bits
+// against the budget of 32), the flip-bit drivers sit outside the data
+// budget — in the prototype the 8 flip bits per 128 data bits have their
+// own driver column.
+func (p Pulse) DataBits() int { return popcount16(p.Mask) }
+
+func popcount16(x uint16) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Plan is the full schedule of one cache-line write.
+type Plan struct {
+	// Read is the read-before-write latency (zero for schemes without
+	// data comparison), Analysis the scheduling overhead (Tetris only)
+	// and Write the span of the programming phase.
+	Read     units.Duration
+	Analysis units.Duration
+	Write    units.Duration
+
+	// Pulses hold the programming schedule, offsets relative to the start
+	// of the write phase.
+	Pulses []Pulse
+
+	// Pulse duration and current per kind, copied from the device
+	// parameters so a Plan can be checked without them.
+	TSet, TReset             units.Duration
+	CurrentSet, CurrentReset int
+}
+
+// ServiceTime returns the total array occupancy of the write.
+func (p Plan) ServiceTime() units.Duration { return p.Read + p.Analysis + p.Write }
+
+// WriteUnits returns the write phase expressed in units of Tset — the
+// paper's Figure 10 metric ("number of write units"): 8 for the baseline,
+// 4 for Flip-N-Write, 3 for 2-Stage-Write, 2.5 for Three-Stage-Write, and
+// result + subresult/K for Tetris Write.
+func (p Plan) WriteUnits() float64 {
+	if p.TSet == 0 {
+		return 0
+	}
+	return float64(p.Write) / float64(p.TSet)
+}
+
+// Counts returns the number of SET and RESET cell pulses in the plan,
+// including flip cells.
+func (p Plan) Counts() (sets, resets int) {
+	for _, pl := range p.Pulses {
+		if pl.Kind == Set {
+			sets += pl.Bits()
+		} else {
+			resets += pl.Bits()
+		}
+	}
+	return sets, resets
+}
+
+// dur returns the pulse length of kind k.
+func (p Plan) dur(k PulseKind) units.Duration {
+	if k == Set {
+		return p.TSet
+	}
+	return p.TReset
+}
+
+// current returns the per-cell current of kind k.
+func (p Plan) current(k PulseKind) int {
+	if k == Set {
+		return p.CurrentSet
+	}
+	return p.CurrentReset
+}
+
+// Profile converts the plan's pulse train into a power profile with the
+// write phase starting at time origin. Only data cells draw from the
+// budget (see Pulse.DataBits).
+func (p Plan) Profile(origin units.Time) *power.Profile {
+	var prof power.Profile
+	for _, pl := range p.Pulses {
+		start := origin.Add(pl.Start)
+		prof.Add(pl.Chip, start, start.Add(p.dur(pl.Kind)), pl.DataBits()*p.current(pl.Kind))
+	}
+	return &prof
+}
+
+// Validate performs structural checks every plan must satisfy: pulses lie
+// within the write phase, masks are nonempty, and no cell is pulsed twice.
+func (p Plan) Validate(par pcm.Params) error {
+	type cell struct {
+		chip, unit int
+		flip       bool
+		bit        int
+	}
+	seen := map[cell]bool{}
+	for i, pl := range p.Pulses {
+		if pl.Chip < 0 || pl.Chip >= par.NumChips {
+			return fmt.Errorf("pulse %d: chip %d out of range", i, pl.Chip)
+		}
+		if pl.Unit < 0 || pl.Unit >= par.DataUnits() {
+			return fmt.Errorf("pulse %d: unit %d out of range", i, pl.Unit)
+		}
+		if pl.Mask == 0 && !pl.FlipCell {
+			return fmt.Errorf("pulse %d: empty pulse record", i)
+		}
+		if pl.Start < 0 || pl.Start+p.dur(pl.Kind) > p.Write {
+			return fmt.Errorf("pulse %d: [%v, +%v) outside write phase %v",
+				i, pl.Start, p.dur(pl.Kind), p.Write)
+		}
+		for b := 0; b < 16; b++ {
+			if pl.Mask&(1<<b) == 0 {
+				continue
+			}
+			c := cell{pl.Chip, pl.Unit, false, b}
+			if seen[c] {
+				return fmt.Errorf("pulse %d: cell %+v pulsed twice", i, c)
+			}
+			seen[c] = true
+		}
+		if pl.FlipCell {
+			c := cell{pl.Chip, pl.Unit, true, 0}
+			if seen[c] {
+				return fmt.Errorf("pulse %d: flip cell %+v pulsed twice", i, c)
+			}
+			seen[c] = true
+		}
+	}
+	return nil
+}
+
+// SortPulses orders the plan's pulses by start time (then chip, unit,
+// kind) for deterministic output.
+func (p *Plan) SortPulses() {
+	sort.Slice(p.Pulses, func(i, j int) bool {
+		a, b := p.Pulses[i], p.Pulses[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Chip != b.Chip {
+			return a.Chip < b.Chip
+		}
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// Scheme plans cache-line writes. Implementations carry per-line coding
+// state (flip tags) and are NOT safe for concurrent use; give each bank
+// its own instance via a Factory.
+type Scheme interface {
+	// Name returns the scheme's short identifier, e.g. "fnw".
+	Name() string
+
+	// PlanWrite computes the pulse schedule that turns the currently
+	// stored logical contents old into new, updating the scheme's coding
+	// state for the line. Both slices are LineBytes long; PlanWrite does
+	// not retain them.
+	PlanWrite(addr pcm.LineAddr, old, new []byte) Plan
+
+	// NeedsReadBeforeWrite reports whether the scheme performs an array
+	// read before writing (data-comparison schemes do).
+	NeedsReadBeforeWrite() bool
+}
+
+// Factory builds a fresh scheme instance for one bank.
+type Factory func(pcm.Params) Scheme
+
+// Presetter is implemented by schemes that support PreSET (Qureshi et
+// al., ISCA'12): during idle time the controller proactively drives every
+// cell of a line to the SET state, so the eventual write needs only fast
+// RESET pulses. PlanPreset returns the pulse schedule that takes the
+// stored line (current logical contents old) to logical all-ones with no
+// inversion, updating the scheme's coding state accordingly. The caller
+// must then store all-ones as the line's logical contents.
+type Presetter interface {
+	Scheme
+	PlanPreset(addr pcm.LineAddr, old []byte) Plan
+}
+
+// PowerBudget derives the bank's power constraint from the device
+// parameters.
+func PowerBudget(par pcm.Params) power.Budget {
+	return power.Budget{PerChip: par.ChipBudget, Chips: par.NumChips, GCP: par.GlobalChargePump}
+}
+
+// basePlan fills the Plan fields every scheme copies from the parameters.
+func basePlan(par pcm.Params) Plan {
+	return Plan{
+		TSet:         par.TSet,
+		TReset:       par.TReset,
+		CurrentSet:   par.CurrentSet,
+		CurrentReset: par.CurrentReset,
+	}
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// staticLayout is the slot arithmetic shared by every scheme except
+// Tetris: schedules are shaped by the worst case (worstCells cells per
+// data unit, each drawing worstCur) and never by the actual data. When one
+// worst-case unit fits the per-chip budget, several units share a slot;
+// when it does not (tiny mobile budgets), each unit is split across
+// several slots of capBits cells each.
+type staticLayout struct {
+	unitsPerSlot int // data units that share one slot (1 in split regime)
+	slotsPerUnit int // slots one data unit spans (1 in shared regime)
+	capBits      int // cells one chip may pulse per slot
+}
+
+func newStaticLayout(worstCells, worstCur, budget int) staticLayout {
+	perUnit := worstCells * worstCur
+	if perUnit <= budget {
+		return staticLayout{
+			unitsPerSlot: budget / perUnit,
+			slotsPerUnit: 1,
+			capBits:      worstCells,
+		}
+	}
+	capBits := budget / worstCur // >= 1: Params.Validate requires budget >= CurrentReset
+	return staticLayout{
+		unitsPerSlot: 1,
+		slotsPerUnit: ceilDiv(worstCells, capBits),
+		capBits:      capBits,
+	}
+}
+
+// slots returns the total serial slot count for nUnits data units.
+func (l staticLayout) slots(nUnits int) int {
+	if nUnits == 0 {
+		return 0
+	}
+	return ceilDiv(nUnits, l.unitsPerSlot) * l.slotsPerUnit
+}
+
+// firstSlot returns the first slot index of data unit u.
+func (l staticLayout) firstSlot(u int) int {
+	return (u / l.unitsPerSlot) * l.slotsPerUnit
+}

@@ -1,0 +1,122 @@
+package schemes
+
+import (
+	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/units"
+)
+
+// twoStage is 2-Stage-Write (Yue & Zhu, HPCA'13): the write is split into
+// a RESET stage and a SET stage to exploit both PCM asymmetries. All
+// write-0s execute first in short Treset slots; then the low SET current
+// lets several units' write-1s share each Tset slot. The data is inverted
+// when more than half its bits are ones, halving the worst-case SET count
+// (but no cells are skipped — there is no read, so 2-Stage-Write does not
+// save energy). Service time is Equation 3: (1/K + 1/2L) x (N/M) x Tset.
+type twoStage struct {
+	par   pcm.Params
+	flips *flipState
+}
+
+// NewTwoStage returns the 2-Stage-Write scheme.
+func NewTwoStage(par pcm.Params) Scheme {
+	return &twoStage{par: par, flips: newFlipState(par.NumChips)}
+}
+
+func (s *twoStage) Name() string               { return "twostage" }
+func (s *twoStage) NeedsReadBeforeWrite() bool { return false }
+
+func (s *twoStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
+	p := basePlan(s.par)
+	nu := s.par.DataUnits()
+	w := s.par.ChipWidthBits
+
+	lay0 := newStaticLayout(w, s.par.CurrentReset, s.par.ChipBudget) // RESET stage: all cells may be zeros
+	lay1 := newStaticLayout(w/2, s.par.CurrentSet, s.par.ChipBudget) // SET stage: inversion bounds ones by w/2
+	n0 := lay0.slots(nu)
+	n1 := lay1.slots(nu)
+	stage0Span := units.Duration(n0) * s.par.TReset
+	p.Write = stage0Span + units.Duration(n1)*s.par.TSet
+	start0 := func(i int) units.Duration { return units.Duration(i) * s.par.TReset }
+	start1 := func(i int) units.Duration { return stage0Span + units.Duration(i)*s.par.TSet }
+
+	width := bitutil.WidthMask(w)
+	wbytes := w / 8
+	for u := 0; u < nu; u++ {
+		for c := 0; c < s.par.NumChips; c++ {
+			logical := bitutil.ChipSlice(new, s.par.NumChips, wbytes, c, u)
+			enc := logical & width
+			flip := false
+			if bitutil.PopCount16(logical&width) > w/2 {
+				enc, flip = ^logical&width, true
+			}
+			s.flips.set(addr, c, u, flip)
+			// Every cell is programmed: zeros in stage 0, ones in stage 1.
+			emitStreams(&p, lay0, start0, c, u, stream{Reset, ^enc & width})
+			emitStreams(&p, lay1, start1, c, u, stream{Set, enc})
+			if flip {
+				emitFlip(&p, lay1, start1, c, u, Set)
+			} else {
+				emitFlip(&p, lay0, start0, c, u, Reset)
+			}
+		}
+	}
+	return p
+}
+
+// threeStage is Three-Stage-Write (Li et al., ASP-DAC'15): Flip-N-Write's
+// read-and-flip stage bolted onto 2-Stage-Write. The Hamming-distance
+// inversion bounds *changed* cells by half the width, so the RESET stage
+// packs two units per slot and the SET stage four, and only changed cells
+// are pulsed (energy is saved like Flip-N-Write). Service time is
+// Equation 4: Tread + (1/2K + 1/2L) x (N/M) x Tset.
+type threeStage struct {
+	par   pcm.Params
+	flips *flipState
+}
+
+// NewThreeStage returns the Three-Stage-Write scheme.
+func NewThreeStage(par pcm.Params) Scheme {
+	return &threeStage{par: par, flips: newFlipState(par.NumChips)}
+}
+
+func (s *threeStage) Name() string               { return "threestage" }
+func (s *threeStage) NeedsReadBeforeWrite() bool { return true }
+
+func (s *threeStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
+	p := basePlan(s.par)
+	p.Read = s.par.TRead
+	nu := s.par.DataUnits()
+	w := s.par.ChipWidthBits
+
+	lay0 := newStaticLayout(w/2, s.par.CurrentReset, s.par.ChipBudget) // changed cells <= w/2 after flip
+	lay1 := newStaticLayout(w/2, s.par.CurrentSet, s.par.ChipBudget)
+	n0 := lay0.slots(nu)
+	n1 := lay1.slots(nu)
+	stage0Span := units.Duration(n0) * s.par.TReset
+	p.Write = stage0Span + units.Duration(n1)*s.par.TSet
+	start0 := func(i int) units.Duration { return units.Duration(i) * s.par.TReset }
+	start1 := func(i int) units.Duration { return stage0Span + units.Duration(i)*s.par.TSet }
+
+	wbytes := w / 8
+	for u := 0; u < nu; u++ {
+		for c := 0; c < s.par.NumChips; c++ {
+			logicalOld := bitutil.ChipSlice(old, s.par.NumChips, wbytes, c, u)
+			logicalNew := bitutil.ChipSlice(new, s.par.NumChips, wbytes, c, u)
+			stored := bitutil.FlipWord{
+				Bits: s.flips.encoded(addr, c, u, w, logicalOld),
+				Flip: s.flips.get(addr, c, u),
+			}
+			enc, tr, flipSet, flipReset := bitutil.FlipTransition(stored, logicalNew, w)
+			s.flips.set(addr, c, u, enc.Flip)
+			emitStreams(&p, lay0, start0, c, u, stream{Reset, tr.Resets})
+			emitStreams(&p, lay1, start1, c, u, stream{Set, tr.Sets})
+			if flipSet {
+				emitFlip(&p, lay1, start1, c, u, Set)
+			} else if flipReset {
+				emitFlip(&p, lay0, start0, c, u, Reset)
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,68 @@
+package schemes
+
+import (
+	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/pcm"
+)
+
+// flipState stores the per-line inversion tags of a coding scheme: one
+// bit per (chip, data unit). With the default geometry that is 32 bits
+// per line, kept sparsely in a uint64 per touched line.
+type flipState struct {
+	m      map[pcm.LineAddr]uint64
+	nchips int
+}
+
+func newFlipState(nchips int) *flipState {
+	return &flipState{m: make(map[pcm.LineAddr]uint64), nchips: nchips}
+}
+
+func (f *flipState) bit(c, u int) uint {
+	return uint(u*f.nchips + c)
+}
+
+// get returns the flip tag of chip c, unit u of the line.
+func (f *flipState) get(addr pcm.LineAddr, c, u int) bool {
+	return f.m[addr]&(1<<f.bit(c, u)) != 0
+}
+
+// set updates the flip tag of chip c, unit u of the line.
+func (f *flipState) set(addr pcm.LineAddr, c, u int, v bool) {
+	if v {
+		f.m[addr] |= 1 << f.bit(c, u)
+	} else {
+		f.m[addr] &^= 1 << f.bit(c, u)
+	}
+}
+
+// encoded returns the stored (array) bits for a chip slice given its
+// logical value: the complement (within the chip width) when the flip
+// tag is set.
+func (f *flipState) encoded(addr pcm.LineAddr, c, u, widthBits int, logical uint16) uint16 {
+	if f.get(addr, c, u) {
+		return ^logical & bitutil.WidthMask(widthBits)
+	}
+	return logical
+}
+
+// splitMaskByBits partitions mask into chunks of at most maxBits set bits
+// each, preserving bit order. maxBits must be positive.
+func splitMaskByBits(mask uint16, maxBits int) []uint16 {
+	if maxBits <= 0 {
+		panic("schemes: splitMaskByBits with non-positive capacity")
+	}
+	var out []uint16
+	for mask != 0 {
+		var chunk uint16
+		n := 0
+		for b := 0; b < 16 && n < maxBits; b++ {
+			if mask&(1<<b) != 0 {
+				chunk |= 1 << b
+				mask &^= 1 << b
+				n++
+			}
+		}
+		out = append(out, chunk)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package sim provides the deterministic event-driven simulation kernel
+// shared by the full-system experiments: a time-ordered event queue with
+// stable tie-breaking, so identical inputs always replay identically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"tetriswrite/internal/units"
+)
+
+// Event is a callback scheduled at a point in simulated time.
+type event struct {
+	at  units.Time
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine runs events in time order. The zero value is ready to use.
+// Engines are single-threaded: all scheduling must happen from event
+// callbacks or before Run.
+type Engine struct {
+	pq     eventHeap
+	now    units.Time
+	seq    uint64
+	events uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn at absolute time t, which must not precede the current
+// time (the simulator has no time machine; scheduling in the past is
+// always a component bug, so it panics loudly).
+func (e *Engine) At(t units.Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (e *Engine) After(d units.Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step runs the single earliest event. It reports false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	e.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events up to and including time t, then stops. Later
+// events stay queued; the current time advances to t even if no event
+// lands exactly there.
+func (e *Engine) RunUntil(t units.Time) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d of simulated time from now.
+func (e *Engine) RunFor(d units.Duration) { e.RunUntil(e.now.Add(d)) }

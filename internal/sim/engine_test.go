@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetriswrite/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v, want 30", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed())
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestCascadedScheduling(t *testing.T) {
+	var e Engine
+	var trace []units.Time
+	var ping func()
+	n := 0
+	ping = func() {
+		trace = append(trace, e.Now())
+		n++
+		if n < 5 {
+			e.After(7, ping)
+		}
+	}
+	e.At(0, ping)
+	e.Run()
+	for i, at := range trace {
+		if at != units.Time(i*7) {
+			t.Fatalf("cascade times %v", trace)
+		}
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunFor(10)
+	if ran != 3 || e.Now() != 30 {
+		t.Errorf("after RunFor: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestRunUntilAdvancesIdleTime(t *testing.T) {
+	var e Engine
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Errorf("idle RunUntil left Now at %v", e.Now())
+	}
+}
+
+// TestDeterminism: a random workload of self-scheduling events executes
+// identically twice.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []units.Time {
+		var e Engine
+		rng := rand.New(rand.NewSource(seed))
+		var trace []units.Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth < 4 {
+				for i := 0; i < 2; i++ {
+					e.After(units.Duration(rng.Intn(50)), func() { spawn(depth + 1) })
+				}
+			}
+		}
+		e.At(0, func() { spawn(0) })
+		e.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	var e Engine
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.At(0, tick)
+	e.Run()
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tetriswrite/internal/units"
+)
+
+func TestLatencyBasic(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Count() != 0 {
+		t.Error("zero-value latency not empty")
+	}
+	l.Add(10 * units.Nanosecond)
+	l.Add(20 * units.Nanosecond)
+	l.Add(30 * units.Nanosecond)
+	if l.Count() != 3 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	if l.Mean() != 20*units.Nanosecond {
+		t.Errorf("Mean = %v, want 20ns", l.Mean())
+	}
+	if l.Min() != 10*units.Nanosecond || l.Max() != 30*units.Nanosecond {
+		t.Errorf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	var samples []float64
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.NormFloat64()) * 100
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	// Compare against exact percentiles with a tolerance of one bucket
+	// (10^(1/10) ~ 26%).
+	exact := func(p float64) float64 {
+		s := append([]float64(nil), samples...)
+		for i := range s {
+			for j := i + 1; j < len(s); j++ {
+				if s[j] < s[i] {
+					s[i], s[j] = s[j], s[i]
+				}
+			}
+			if float64(i+1)/float64(len(s))*100 >= p {
+				return s[i]
+			}
+		}
+		return s[len(s)-1]
+	}
+	for _, p := range []float64{50, 90, 99} {
+		got := h.Percentile(p)
+		want := exact(p)
+		if got < want/1.3 || got > want*1.3 {
+			t.Errorf("P%v = %v, exact %v (off by more than a bucket)", p, got, want)
+		}
+	}
+}
+
+func TestHistogramZeros(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Add(0)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1000)
+	}
+	if got := h.Percentile(50); got != 0 {
+		t.Errorf("P50 = %v, want 0 (90%% zeros)", got)
+	}
+	if got := h.Percentile(99); got < 1000 {
+		t.Errorf("P99 = %v, want >= 1000", got)
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	var h Histogram
+	defer func() {
+		if recover() == nil {
+			t.Error("negative sample did not panic")
+		}
+	}()
+	h.Add(-1)
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 {
+		t.Error("empty histogram percentile not 0")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc("reads", 5)
+	c.Inc("writes", 2)
+	c.Inc("reads", 1)
+	if c.Get("reads") != 6 || c.Get("writes") != 2 {
+		t.Error("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "reads" || names[1] != "writes" {
+		t.Errorf("Names = %v", names)
+	}
+	if c.Get("missing") != 0 {
+		t.Error("missing counter not 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "workload", "value")
+	tb.AddRow("blackscholes", 1.23456)
+	tb.AddRow("vips", 42)
+	tb.AddRow("x", 50*units.Nanosecond)
+	out := tb.String()
+	for _, want := range []string{"== Figure X ==", "workload", "blackscholes", "1.235", "42", "50.0ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("table has %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty means not 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero sample should be 0 sentinel")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	b := NewBarChart("demo", "a", "bb")
+	b.AddGroup("g1", 1.0, 2.0)
+	b.AddGroup("g2", 0.0, 4.0)
+	out := b.String()
+	for _, want := range []string{"== demo ==", "g1", "g2", "a ", "bb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Bars scale to the max (4.0 -> 40 chars; 2.0 -> 20; 1.0 -> 10).
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Error("max bar not full width")
+	}
+	if strings.Contains(out, strings.Repeat("#", 41)) {
+		t.Error("bar exceeds width")
+	}
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.Contains(l, " 0.000 ") && strings.Contains(l, "#") {
+			t.Error("zero value drew a bar")
+		}
+	}
+}
+
+func TestBarChartPanicsOnArityMismatch(t *testing.T) {
+	b := NewBarChart("x", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	b.AddGroup("g", 1, 2)
+}
+
+func TestFromTable(t *testing.T) {
+	tb := NewTable("fig", "workload", "s1", "s2")
+	tb.AddRow("w1", 1.5, 2.5)
+	tb.AddRow("w2", 3.0, 4.0)
+	tb.AddRow("note", "text", "cells") // skipped: non-numeric
+	b := FromTable(tb)
+	out := b.String()
+	if !strings.Contains(out, "w1") || !strings.Contains(out, "w2") {
+		t.Errorf("groups missing:\n%s", out)
+	}
+	if strings.Contains(out, "note") {
+		t.Error("non-numeric row charted")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow("with,comma", "quo\"te")
+	out := tb.CSV()
+	want := "a,b\nplain,1.500\n\"with,comma\",\"quo\"\"te\"\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,318 @@
+// Package system assembles the full evaluation platform of the paper's
+// Table II: four 2 GHz cores running one multi-threaded workload, a
+// read-priority memory controller with 32-entry queues, and 8 banks of
+// SLC PCM programmed by a pluggable write scheme. One Run produces the
+// metrics every figure of the evaluation is built from: average read and
+// write latency, per-write write units, IPC, and application running
+// time.
+package system
+
+import (
+	"fmt"
+
+	"tetriswrite/internal/cache"
+	"tetriswrite/internal/cpu"
+	"tetriswrite/internal/memctrl"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/trace"
+	"tetriswrite/internal/units"
+	"tetriswrite/internal/wearlevel"
+	"tetriswrite/internal/workload"
+)
+
+// Config describes one full-system simulation.
+type Config struct {
+	Params      pcm.Params     // device configuration (Table II)
+	Cores       int            // default 4
+	CPUClock    units.Clock    // default 2 GHz
+	InstrBudget int64          // instructions per core (default 1M)
+	Ctrl        memctrl.Config // controller configuration
+	Seed        int64          // workload seed
+
+	// UseCaches interposes the Table II L1/L2/L3 hierarchy (or
+	// CacheLevels, if set) between the cores and the controller. The
+	// workload stream is then interpreted as CPU-level accesses; the
+	// headline experiments leave this off because Table III's RPKI/WPKI
+	// are memory-level counters.
+	UseCaches   bool
+	CacheLevels []cache.LevelConfig
+
+	// WearLevelPsi, when positive, wraps the workload's resident working
+	// set (the private and shared regions) in a Start-Gap wear-leveling
+	// region with a gap move every psi writes, and tracks per-line wear.
+	WearLevelPsi int
+	// TrackWear attaches per-line wear accounting even without wear
+	// leveling, so endurance experiments can compare the two.
+	TrackWear bool
+}
+
+// Normalize fills defaults in place.
+func (c *Config) Normalize() {
+	if c.Params.LineBytes == 0 {
+		c.Params = pcm.DefaultParams()
+	}
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if (c.CPUClock == units.Clock{}) {
+		c.CPUClock = units.NewClock(2e9)
+	}
+	if c.InstrBudget <= 0 {
+		c.InstrBudget = 1_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Workload string
+	Scheme   string
+
+	RunningTime    units.Duration // when the last core retired its budget
+	IPC            float64        // summed per-core IPC (the paper's metric)
+	ReadLatency    units.Duration // mean memory read latency
+	WriteLatency   units.Duration // mean memory write latency
+	WriteUnits     float64        // mean write units per line write (Fig 10)
+	Energy         float64        // programming energy, SET-current x ns units
+	EnergyPerWrite float64
+
+	Ctrl   memctrl.Stats
+	Cores  []cpu.Stats
+	Caches []cache.Stats // per level, only with UseCaches
+
+	// Wear reports the per-line wear distribution (with TrackWear or
+	// WearLevelPsi), and Remap the wear-leveling activity (with
+	// WearLevelPsi).
+	Wear  *pcm.WearSummary
+	Remap *wearlevel.RemapStats
+}
+
+// preloadPort interposes on the core->memory path to install each line's
+// initial contents in the device before its first access, so the write
+// schemes see the workload's real data transitions rather than
+// transitions from an artificially blank array. With wear leveling the
+// install happens at the line's *current physical* slot, via translate.
+type preloadPort struct {
+	down      cpu.MemPort
+	dev       *pcm.Device
+	prog      *workload.Program
+	seen      map[pcm.LineAddr]struct{}
+	translate func(pcm.LineAddr) pcm.LineAddr
+}
+
+func (p *preloadPort) ensure(addr pcm.LineAddr) {
+	if _, ok := p.seen[addr]; ok {
+		return
+	}
+	p.seen[addr] = struct{}{}
+	phys := addr
+	if p.translate != nil {
+		phys = p.translate(addr)
+	}
+	p.dev.Preload(phys, p.prog.InitialContents(addr))
+}
+
+func (p *preloadPort) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool {
+	p.ensure(addr)
+	return p.down.SubmitRead(addr, onDone)
+}
+
+func (p *preloadPort) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at units.Time)) bool {
+	p.ensure(addr)
+	return p.down.SubmitWrite(addr, data, onDone)
+}
+
+func (p *preloadPort) WhenWriteSpace(fn func()) { p.down.WhenWriteSpace(fn) }
+
+// Run simulates one workload under one write scheme.
+func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, error) {
+	cfg.Normalize()
+	if err := cfg.Params.Validate(); err != nil {
+		return Result{}, fmt.Errorf("system: %w", err)
+	}
+	eng := &sim.Engine{}
+	dev, err := pcm.NewDevice(cfg.Params)
+	if err != nil {
+		return Result{}, err
+	}
+	ctrl := memctrl.New(eng, dev, factory, cfg.Ctrl)
+	prog := workload.NewProgram(prof, cfg.Cores, cfg.Seed, cfg.Params)
+
+	var wear *pcm.WearTracker
+	if cfg.TrackWear || cfg.WearLevelPsi > 0 {
+		// Wear is recorded at the controller, keyed by physical line and
+		// counting the scheme's actual pulses (redundant pulses wear
+		// cells too, which is how non-comparing schemes hurt endurance).
+		wear = pcm.NewWearTracker()
+		ctrl.SetWearTracker(wear)
+	}
+
+	// Optional Start-Gap wear leveling over the resident working set.
+	var down cpu.MemPort = ctrl
+	var remap *wearlevel.Remapper
+	var translate func(pcm.LineAddr) pcm.LineAddr
+	if cfg.WearLevelPsi > 0 {
+		np := prog.Profile()
+		resident := int64(cfg.Cores)*int64(np.PrivateLines) + int64(np.SharedLines)
+		region, rerr := wearlevel.NewRegion(0, resident, cfg.WearLevelPsi)
+		if rerr != nil {
+			return Result{}, rerr
+		}
+		remap = wearlevel.NewRemapper(ctrl, region, cfg.Params.LineBytes, ctrl.Snoop)
+		down = remap
+		translate = region.Translate
+	}
+
+	preload := &preloadPort{down: down, dev: dev, prog: prog,
+		seen: make(map[pcm.LineAddr]struct{}), translate: translate}
+
+	var port cpu.MemPort = preload
+	var hier *cache.Hierarchy
+	if cfg.UseCaches {
+		levels := cfg.CacheLevels
+		if levels == nil {
+			levels = cache.DefaultLevels(cfg.CPUClock)
+		}
+		hier, err = cache.New(eng, preload, levels)
+		if err != nil {
+			return Result{}, err
+		}
+		port = hier
+		if cfg.Ctrl.IdlePreset {
+			// PreSET: dirty-transition hints flow from the LLC to the
+			// controller, which checks dirtiness again before acting.
+			ctrl.SetDirtyChecker(hier.IsDirty)
+			hier.OnDirty = func(addr pcm.LineAddr) {
+				preload.ensure(addr)
+				ctrl.PresetHint(addr)
+			}
+		}
+	} else if cfg.Ctrl.IdlePreset {
+		return Result{}, fmt.Errorf("system: IdlePreset requires UseCaches (hints come from LLC dirtiness)")
+	}
+
+	cores := make([]*cpu.Core, cfg.Cores)
+	remaining := cfg.Cores
+	var lastFinish units.Time
+	for i := range cores {
+		cores[i] = cpu.New(eng, cfg.CPUClock, prog.Generator(i), port, cfg.InstrBudget, func() {
+			remaining--
+			if t := eng.Now(); t > lastFinish {
+				lastFinish = t
+			}
+			if remaining == 0 {
+				// Flush outstanding writes so their latency is counted.
+				ctrl.WhenIdle(func() {})
+			}
+		})
+		cores[i].Start()
+	}
+	eng.Run()
+	if remaining != 0 {
+		return Result{}, fmt.Errorf("system: %d cores never finished (deadlock?)", remaining)
+	}
+
+	st := ctrl.Stats()
+	res := Result{
+		Workload:     prof.Name,
+		Scheme:       factory(cfg.Params).Name(),
+		RunningTime:  units.Duration(lastFinish),
+		ReadLatency:  st.ReadLatency.Mean(),
+		WriteLatency: st.WriteLatency.Mean(),
+		Ctrl:         st,
+	}
+	if n := st.WriteLatency.Count(); n > 0 {
+		res.WriteUnits = st.WriteUnits / float64(n)
+	}
+	model := pcm.EnergyModelFor(cfg.Params)
+	res.Energy = model.WriteEnergy(int(st.BitSets), int(st.BitResets))
+	if n := st.WriteLatency.Count(); n > 0 {
+		res.EnergyPerWrite = res.Energy / float64(n)
+	}
+	for _, c := range cores {
+		cs := c.Stats()
+		res.Cores = append(res.Cores, cs)
+		res.IPC += cs.IPC(cfg.CPUClock, eng.Now())
+	}
+	if hier != nil {
+		res.Caches = hier.LevelStats()
+	}
+	if wear != nil {
+		sum := wear.Summary()
+		res.Wear = &sum
+	}
+	if remap != nil {
+		rs := remap.Stats()
+		res.Remap = &rs
+	}
+	return res, nil
+}
+
+// RunTrace replays a pre-recorded memory trace through the platform
+// instead of generating operations on the fly: same controller, banks and
+// cores, but each core's stream comes from the trace's records. The
+// workload name is only a label; data contents come from the trace
+// payloads (the device starts zeroed, as traces carry absolute line
+// images).
+func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Factory, cfg Config) (Result, error) {
+	cfg.Cores = cores
+	cfg.Normalize()
+	if err := cfg.Params.Validate(); err != nil {
+		return Result{}, fmt.Errorf("system: %w", err)
+	}
+	eng := &sim.Engine{}
+	dev, err := pcm.NewDevice(cfg.Params)
+	if err != nil {
+		return Result{}, err
+	}
+	ctrl := memctrl.New(eng, dev, factory, cfg.Ctrl)
+
+	cpuCores := make([]*cpu.Core, cfg.Cores)
+	remaining := cfg.Cores
+	var lastFinish units.Time
+	for i := range cpuCores {
+		src := trace.NewCoreSource(recs, i)
+		cpuCores[i] = cpu.New(eng, cfg.CPUClock, src, ctrl, cfg.InstrBudget, func() {
+			remaining--
+			if t := eng.Now(); t > lastFinish {
+				lastFinish = t
+			}
+			if remaining == 0 {
+				ctrl.WhenIdle(func() {})
+			}
+		})
+		cpuCores[i].Start()
+	}
+	eng.Run()
+	if remaining != 0 {
+		return Result{}, fmt.Errorf("system: %d cores never finished (deadlock?)", remaining)
+	}
+
+	st := ctrl.Stats()
+	res := Result{
+		Workload:     label + " (trace)",
+		Scheme:       factory(cfg.Params).Name(),
+		RunningTime:  units.Duration(lastFinish),
+		ReadLatency:  st.ReadLatency.Mean(),
+		WriteLatency: st.WriteLatency.Mean(),
+		Ctrl:         st,
+	}
+	if n := st.WriteLatency.Count(); n > 0 {
+		res.WriteUnits = st.WriteUnits / float64(n)
+	}
+	model := pcm.EnergyModelFor(cfg.Params)
+	res.Energy = model.WriteEnergy(int(st.BitSets), int(st.BitResets))
+	if n := st.WriteLatency.Count(); n > 0 {
+		res.EnergyPerWrite = res.Energy / float64(n)
+	}
+	for _, c := range cpuCores {
+		cs := c.Stats()
+		res.Cores = append(res.Cores, cs)
+		res.IPC += cs.IPC(cfg.CPUClock, eng.Now())
+	}
+	return res, nil
+}

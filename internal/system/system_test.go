@@ -1,0 +1,270 @@
+package system
+
+import (
+	"testing"
+
+	"tetriswrite/internal/cache"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/tetris"
+	"tetriswrite/internal/trace"
+	"tetriswrite/internal/units"
+	"tetriswrite/internal/workload"
+)
+
+func smallConfig() Config {
+	return Config{
+		Params:      pcm.DefaultParams(),
+		InstrBudget: 200_000,
+		Seed:        7,
+	}
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	res, err := Run(prof, schemes.NewDCW, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "vips" || res.Scheme != "dcw" {
+		t.Errorf("labels wrong: %s/%s", res.Workload, res.Scheme)
+	}
+	if res.RunningTime <= 0 {
+		t.Error("non-positive running time")
+	}
+	if res.IPC <= 0 || res.IPC > 4 {
+		t.Errorf("IPC = %v, want in (0, 4] for 4 cores", res.IPC)
+	}
+	if res.Ctrl.Reads == 0 || res.Ctrl.Writes == 0 {
+		t.Error("no memory traffic simulated")
+	}
+	if res.ReadLatency <= 0 || res.WriteLatency <= 0 {
+		t.Error("latencies not measured")
+	}
+	// The baseline takes 8 worst-case write units per write.
+	if res.WriteUnits < 7.9 || res.WriteUnits > 8.1 {
+		t.Errorf("dcw WriteUnits = %v, want 8", res.WriteUnits)
+	}
+	if res.Energy <= 0 {
+		t.Error("no energy accounted")
+	}
+	if len(res.Cores) != 4 {
+		t.Errorf("%d core stats, want 4", len(res.Cores))
+	}
+	for i, cs := range res.Cores {
+		if !cs.Finished || cs.Retired != 200_000 {
+			t.Errorf("core %d did not retire its budget: %+v", i, cs)
+		}
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	prof, _ := workload.ProfileByName("ferret")
+	a, err := Run(prof, schemes.NewThreeStage, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(prof, schemes.NewThreeStage, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RunningTime != b.RunningTime || a.IPC != b.IPC ||
+		a.ReadLatency != b.ReadLatency || a.WriteLatency != b.WriteLatency ||
+		a.Energy != b.Energy {
+		t.Errorf("nondeterministic simulation:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSchemeOrderingOnMemoryBoundWorkload: on the most memory-intensive
+// workload, the paper's ranking of running time and read latency must
+// hold: tetris < threestage < twostage < fnw < dcw (all faster than the
+// baseline).
+func TestSchemeOrderingOnMemoryBoundWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system sweep")
+	}
+	prof, _ := workload.ProfileByName("vips")
+	cfg := smallConfig()
+	factories := []schemes.Factory{
+		schemes.NewDCW,
+		schemes.NewFlipNWrite,
+		schemes.NewTwoStage,
+		schemes.NewThreeStage,
+		tetris.New,
+	}
+	var results []Result
+	for _, f := range factories {
+		r, err := Run(prof, f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+		t.Logf("%-12s run=%v readLat=%v writeLat=%v wu=%.2f ipc=%.3f",
+			r.Scheme, r.RunningTime, r.ReadLatency, r.WriteLatency, r.WriteUnits, r.IPC)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].RunningTime >= results[i-1].RunningTime {
+			t.Errorf("running time ordering violated: %s (%v) !< %s (%v)",
+				results[i].Scheme, results[i].RunningTime,
+				results[i-1].Scheme, results[i-1].RunningTime)
+		}
+		if results[i].IPC <= results[i-1].IPC {
+			t.Errorf("IPC ordering violated: %s (%.3f) !> %s (%.3f)",
+				results[i].Scheme, results[i].IPC,
+				results[i-1].Scheme, results[i-1].IPC)
+		}
+	}
+	// Tetris write units ~1-2 on this workload, far below fnw's 4.
+	last := results[len(results)-1]
+	if last.WriteUnits >= 4 {
+		t.Errorf("tetris WriteUnits = %v, want well below 4", last.WriteUnits)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	cfg := smallConfig()
+	cfg.Params.NumChips = 0 // invalid (LineBytes=0 would mean "use defaults")
+	if _, err := Run(prof, schemes.NewDCW, cfg); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestRunDefaultsParams(t *testing.T) {
+	prof, _ := workload.ProfileByName("blackscholes")
+	res, err := Run(prof, schemes.NewDCW, Config{InstrBudget: 20_000})
+	if err != nil {
+		t.Fatalf("zero-value params should default to Table II: %v", err)
+	}
+	if res.RunningTime <= 0 {
+		t.Error("defaulted run produced nothing")
+	}
+}
+
+func TestRunWithCaches(t *testing.T) {
+	prof, _ := workload.ProfileByName("ferret")
+	// CPU-level intensity over a working set larger than the scaled-down
+	// hierarchy, so some traffic still reaches PCM.
+	prof.RPKI *= 20
+	prof.WPKI *= 20
+	prof.PrivateLines = 1 << 15
+	cfg := smallConfig()
+	cfg.UseCaches = true
+	cfg.CacheLevels = []cache.LevelConfig{
+		{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Latency: units.NewClock(2e9).Cycles(2)},
+		{Name: "L2", SizeBytes: 128 << 10, LineBytes: 64, Ways: 8, Latency: units.NewClock(2e9).Cycles(20)},
+	}
+	res, err := Run(prof, schemes.NewThreeStage, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Caches) != 2 {
+		t.Fatalf("cache stats for %d levels, want 2", len(res.Caches))
+	}
+	if res.Caches[0].Hits == 0 {
+		t.Error("L1 never hit")
+	}
+	if res.Ctrl.Reads == 0 {
+		t.Error("no traffic reached PCM through the hierarchy")
+	}
+	// Filtering: PCM sees far fewer reads than the cores issued.
+	var coreReads int64
+	for _, cs := range res.Cores {
+		coreReads += cs.Reads
+	}
+	if res.Ctrl.Reads >= coreReads {
+		t.Errorf("PCM reads (%d) not filtered below core reads (%d)", res.Ctrl.Reads, coreReads)
+	}
+	if !res.Cores[0].Finished {
+		t.Error("cores did not finish under the hierarchy")
+	}
+}
+
+func TestIdlePresetRequiresCaches(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	cfg := smallConfig()
+	cfg.Ctrl.IdlePreset = true
+	if _, err := Run(prof, tetris.New, cfg); err == nil {
+		t.Error("IdlePreset without caches accepted")
+	}
+}
+
+// TestIdlePresetEndToEnd: with PreSET on, idle banks preset dirty lines
+// and the write-backs that follow need fewer write units; data stays
+// correct (checked by the controller/device consistency built into the
+// run plus explicit spot reads via the hierarchy being exercised for
+// 200k instructions without divergence).
+func TestIdlePresetEndToEnd(t *testing.T) {
+	prof, _ := workload.ProfileByName("ferret")
+	prof.RPKI *= 20
+	prof.WPKI *= 20
+	prof.PrivateLines = 1 << 14
+	mk := func(preset bool) Result {
+		cfg := smallConfig()
+		cfg.UseCaches = true
+		cfg.CacheLevels = []cache.LevelConfig{
+			{Name: "L1", SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, Latency: units.NewClock(2e9).Cycles(2)},
+			{Name: "L2", SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, Latency: units.NewClock(2e9).Cycles(20)},
+		}
+		cfg.Ctrl.IdlePreset = preset
+		// PreSET needs the time-aware flip rule: the Hamming-minimizing
+		// rule would invert post-preset writes and reintroduce SETs.
+		factory := func(p pcm.Params) schemes.Scheme {
+			return tetris.NewWithOptions(p, tetris.Options{TimeAwareFlip: true})
+		}
+		res, err := Run(prof, factory, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := mk(false)
+	on := mk(true)
+	if on.Ctrl.Presets == 0 {
+		t.Fatal("PreSET never ran")
+	}
+	if off.Ctrl.Presets != 0 {
+		t.Fatal("presets ran with the feature off")
+	}
+	// Documented tradeoff, not a win: on this allocation-churn workload
+	// most presets land on write-once lines whose write-back then carries
+	// mostly-zero data — a RESET avalanche over the preset all-ones. This
+	// is exactly why the PreSET literature gates the mechanism by write
+	// locality. We assert the mechanism works (presets ran, simulation
+	// stays consistent, cost bounded) rather than pretend it always pays.
+	if on.WriteUnits > 2*off.WriteUnits {
+		t.Errorf("write units with PreSET %.3f vs %.3f: cost out of the expected band",
+			on.WriteUnits, off.WriteUnits)
+	}
+	// The favourable case (hot resident lines rewritten with balanced
+	// data) is demonstrated at controller level in the memctrl tests.
+	t.Logf("presets=%d writeUnits %0.3f -> %0.3f, writeLat %v -> %v",
+		on.Ctrl.Presets, off.WriteUnits, on.WriteUnits, off.WriteLatency, on.WriteLatency)
+}
+
+func TestRunTrace(t *testing.T) {
+	prof, _ := workload.ProfileByName("ferret")
+	recs := trace.Generate(prof, 2, 3, pcm.DefaultParams(), 2000)
+	res, err := RunTrace("ferret", recs, 2, schemes.NewThreeStage, Config{InstrBudget: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "ferret (trace)" {
+		t.Errorf("label = %q", res.Workload)
+	}
+	if res.Ctrl.Reads == 0 || res.Ctrl.Writes == 0 {
+		t.Error("trace replay produced no traffic")
+	}
+	if res.IPC <= 0 {
+		t.Error("no IPC from trace replay")
+	}
+	// Replay is deterministic.
+	res2, err := RunTrace("ferret", trace.Generate(prof, 2, 3, pcm.DefaultParams(), 2000), 2,
+		schemes.NewThreeStage, Config{InstrBudget: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunningTime != res2.RunningTime || res.ReadLatency != res2.ReadLatency {
+		t.Error("trace replay nondeterministic")
+	}
+}

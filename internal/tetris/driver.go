@@ -1,0 +1,51 @@
+package tetris
+
+import "tetriswrite/internal/schemes"
+
+// This file models the redesigned write driver of the paper's Figure 9.
+// The driver receives the 17-bit data-unit word (16 data cells + the flip
+// cell) from the DMUX, the stored word from the read buffer, and the
+// write signal (SET or RESET) from the FSMs. An XOR gate derives the
+// PROG-enable signals — only cells whose stored value differs from the
+// incoming value are enabled — and an AND gate combines them with the
+// SET/RESET-enable so a cell is pulsed only when both are active.
+
+// DriverInput is everything the write driver sees for one data unit in
+// one slot.
+type DriverInput struct {
+	Stored       uint16            // read-buffer data cells
+	Incoming     uint16            // DX data cells (already encoded)
+	StoredFlip   bool              // read-buffer flip cell
+	IncomingFlip bool              // DX flip cell
+	Signal       schemes.PulseKind // write signal from the issuing FSM
+}
+
+// DriverOutput is the driver's enable decision: the cells that will
+// actually be pulsed this slot.
+type DriverOutput struct {
+	ProgEnable uint16 // XOR of stored and incoming data cells
+	FlipProg   bool   // XOR of the flip cells
+	Pulsed     uint16 // data cells pulsed: PROG enable AND kind-enable
+	FlipPulsed bool   // flip cell pulsed
+}
+
+// Drive computes the driver outputs for one slot. With a SET signal the
+// kind-enable selects incoming one-bits; with RESET, incoming zero-bits.
+func Drive(in DriverInput) DriverOutput {
+	out := DriverOutput{
+		ProgEnable: in.Stored ^ in.Incoming,
+		FlipProg:   in.StoredFlip != in.IncomingFlip,
+	}
+	var kindEnable uint16
+	var flipKind bool
+	if in.Signal == schemes.Set {
+		kindEnable = in.Incoming
+		flipKind = in.IncomingFlip
+	} else {
+		kindEnable = ^in.Incoming
+		flipKind = !in.IncomingFlip
+	}
+	out.Pulsed = out.ProgEnable & kindEnable
+	out.FlipPulsed = out.FlipProg && flipKind
+	return out
+}

@@ -1,0 +1,186 @@
+package tetris
+
+import (
+	"fmt"
+	"sort"
+
+	"tetriswrite/internal/units"
+)
+
+// This file models the "individually write" stage of Tetris Write: the two
+// finite state machines of the paper's Figure 8. FSM1 walks the write-1
+// queue, issuing the data-unit select and SET signals once per write unit
+// and waiting Tset between steps; FSM0 walks the write-0 queue once per
+// sub-write-unit, waiting Treset. The two machines are independent and run
+// simultaneously, both driven by the memory clock through internal
+// counters.
+//
+// The executor is deliberately a *different* code path from the plan
+// emission in tetris.go: it derives pulse launch times purely by stepping
+// slot counters through the queues, so the test suite can check that the
+// analysis stage's slot arithmetic and the FSMs' replay agree with each
+// other and with Equation 5.
+
+// QueueEntry is one allocation in an FSM queue: data unit Unit launches
+// pulses in slot Slot (a write-unit index for FSM1, a global sub-slot
+// index for FSM0).
+type QueueEntry struct {
+	Unit int
+	Slot int
+}
+
+// Launch records an FSM issuing one queue entry's pulses.
+type Launch struct {
+	QueueEntry
+	At units.Duration // offset from the start of the write phase
+}
+
+// fsmState is the machine's position in the Figure 8 loop.
+type fsmState int
+
+const (
+	fsmInit fsmState = iota
+	fsmGetUnits
+	fsmWait
+	fsmDone
+)
+
+// fsm is one of the two write state machines.
+type fsm struct {
+	queue    []QueueEntry // pending entries, sorted by slot
+	slotOf   func(i int) units.Duration
+	nSlots   int
+	state    fsmState
+	slot     int
+	now      units.Duration
+	launches []Launch
+}
+
+// step advances the machine until it next yields (waits for its counter)
+// or finishes. It returns the time of its next wake-up.
+func (m *fsm) step() {
+	switch m.state {
+	case fsmInit:
+		m.slot = 0
+		if m.nSlots == 0 {
+			m.state = fsmDone
+			return
+		}
+		m.state = fsmGetUnits
+	case fsmGetUnits:
+		// Issue MUX select + write signals for every queue entry tagged
+		// with the current slot.
+		for _, e := range m.queue {
+			if e.Slot == m.slot {
+				m.launches = append(m.launches, Launch{QueueEntry: e, At: m.now})
+			}
+		}
+		m.state = fsmWait
+	case fsmWait:
+		// The internal counter expired (counter != T elapsed): move on.
+		m.slot++
+		if m.slot >= m.nSlots {
+			m.state = fsmDone
+			return
+		}
+		m.now = m.slotOf(m.slot)
+		m.state = fsmGetUnits
+	}
+}
+
+// next returns the simulated time of the machine's next action.
+func (m *fsm) next() units.Duration {
+	if m.state == fsmDone {
+		return -1
+	}
+	return m.now
+}
+
+// Execution is the result of replaying a schedule through the FSMs.
+type Execution struct {
+	Write1 []Launch // FSM1 launches, in issue order
+	Write0 []Launch // FSM0 launches, in issue order
+	Finish units.Duration
+}
+
+// ExecuteFSMs replays a schedule's queues through FSM1 and FSM0 and
+// returns every launch with its time. tset is the write-unit pitch and
+// pitch the sub-write-unit pitch (Tset/K).
+func ExecuteFSMs(s Schedule, tset, pitch units.Duration) Execution {
+	var q1, q0 []QueueEntry
+	for u, allocs := range s.Write1 {
+		for _, a := range allocs {
+			q1 = append(q1, QueueEntry{Unit: u, Slot: a.Slot})
+		}
+	}
+	for u, allocs := range s.Write0 {
+		for _, a := range allocs {
+			q0 = append(q0, QueueEntry{Unit: u, Slot: a.Slot})
+		}
+	}
+	sort.SliceStable(q1, func(i, j int) bool { return q1[i].Slot < q1[j].Slot })
+	sort.SliceStable(q0, func(i, j int) bool { return q0[i].Slot < q0[j].Slot })
+
+	totalSub := s.Result*s.K + s.SubResult
+	fsm1 := &fsm{
+		queue:  q1,
+		nSlots: s.Result,
+		slotOf: func(i int) units.Duration { return units.Duration(i) * tset },
+	}
+	fsm0 := &fsm{
+		queue:  q0,
+		nSlots: totalSub,
+		slotOf: func(i int) units.Duration {
+			return subSlotStart(i, s.Result, s.K, tset, pitch)
+		},
+	}
+
+	// Run both machines to completion, interleaved by wake-up time: the
+	// machines are independent, so any fair interleaving is equivalent,
+	// but time order keeps the trace readable.
+	for fsm1.state != fsmDone || fsm0.state != fsmDone {
+		t1, t0 := fsm1.next(), fsm0.next()
+		switch {
+		case fsm1.state == fsmDone:
+			fsm0.step()
+		case fsm0.state == fsmDone:
+			fsm1.step()
+		case t0 < t1:
+			fsm0.step()
+		default:
+			fsm1.step()
+		}
+	}
+
+	finish := units.Duration(s.Result)*tset + units.Duration(s.SubResult)*pitch
+	return Execution{Write1: fsm1.launches, Write0: fsm0.launches, Finish: finish}
+}
+
+// CheckAgainst verifies that every launch time matches the slot start the
+// analysis stage planned, i.e. the FSM replay and the plan emission agree.
+func (e Execution) CheckAgainst(s Schedule, tset, pitch units.Duration) error {
+	for _, l := range e.Write1 {
+		want := units.Duration(l.Slot) * tset
+		if l.At != want {
+			return fmt.Errorf("FSM1 launched unit %d slot %d at %v, plan says %v", l.Unit, l.Slot, l.At, want)
+		}
+	}
+	for _, l := range e.Write0 {
+		want := subSlotStart(l.Slot, s.Result, s.K, tset, pitch)
+		if l.At != want {
+			return fmt.Errorf("FSM0 launched unit %d sub-slot %d at %v, plan says %v", l.Unit, l.Slot, l.At, want)
+		}
+	}
+	// Count launches: one per allocation.
+	n1, n0 := 0, 0
+	for _, a := range s.Write1 {
+		n1 += len(a)
+	}
+	for _, a := range s.Write0 {
+		n0 += len(a)
+	}
+	if len(e.Write1) != n1 || len(e.Write0) != n0 {
+		return fmt.Errorf("FSMs launched %d/%d groups, schedule has %d/%d", len(e.Write1), len(e.Write0), n1, n0)
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+// Package tetris implements the paper's contribution: the Tetris Write
+// scheme. Instead of shaping every write by the worst case, Tetris Write
+// reads the stored data, counts how many cells of each data unit actually
+// need a SET (write-1) and a RESET (write-0), and then *bin-packs* the
+// work under the instantaneous power budget:
+//
+//  1. the long, low-current write-1s are packed first-fit-decreasing into
+//     as few full write units (Tset-long slots) as the budget allows;
+//  2. the short, high-current write-0s are then dropped into the
+//     sub-write-units (Treset-long slices of each write unit) using
+//     whatever current the co-scheduled write-1s left over — like fitting
+//     Tetris pieces into the gaps — with extra sub-write-units appended
+//     only when no gap fits.
+//
+// Service time follows Equation 5: (result + subresult/K) x Tset, where
+// result is the number of write units and subresult the number of extra
+// sub-write-units.
+package tetris
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Alloc gives part of one data unit's current need a home in one slot.
+// Amount is in SET-current units; Slot is a write-unit index for write-1
+// allocations and a global sub-slot index for write-0 allocations
+// (sub-slot s = writeUnit*K + k for k in [0, K), overflow slots numbered
+// from result*K upward).
+type Alloc struct {
+	Slot   int
+	Amount int
+}
+
+// Schedule is the output of the analysis stage for one power domain (one
+// chip, or the whole bank under a Global Charge Pump).
+type Schedule struct {
+	Result    int // write units consumed by write-1s (the paper's result)
+	SubResult int // extra sub-write-units appended for write-0s
+	K         int // sub-write-units per write unit (time asymmetry)
+
+	// Write1[u] and Write0[u] list where data unit u's SET and RESET
+	// current was placed. Units with nothing to do have empty lists.
+	Write1 [][]Alloc
+	Write0 [][]Alloc
+}
+
+// Packer holds the analysis-stage configuration.
+type Packer struct {
+	Budget int // instantaneous budget of the domain, SET-current units
+	K      int // sub-write-units per write unit
+	// Cost1 and Cost0 are the per-cell currents of SET and RESET pulses.
+	// Zero means 1. Split allocations are kept to whole cells by rounding
+	// to multiples of the cost.
+	Cost1, Cost0 int
+	// MinResult opens at least this many write units before packing, so
+	// zero-budget riders that need a Tset-long span (flip-cell SETs) get
+	// one and the write-0 pass can use its sub-slots.
+	MinResult int
+	// ArrivalOrder disables the decreasing sort (ablation): units are
+	// packed first-fit in arrival order instead of first-fit-decreasing.
+	ArrivalOrder bool
+}
+
+func (pk Packer) cost1() int {
+	if pk.Cost1 <= 0 {
+		return 1
+	}
+	return pk.Cost1
+}
+
+func (pk Packer) cost0() int {
+	if pk.Cost0 <= 0 {
+		return 1
+	}
+	return pk.Cost0
+}
+
+// Pack computes the Tetris schedule for one domain. in1[u] and in0[u] are
+// data unit u's write-1 and write-0 current needs (already scaled by the
+// per-cell currents). Both slices must have the same length.
+//
+// Units whose need exceeds the whole budget are split across slots — the
+// generalization required by tiny mobile budgets; under the paper's
+// configuration every unit fits and placements stay atomic.
+func (pk Packer) Pack(in1, in0 []int) Schedule {
+	if len(in1) != len(in0) {
+		panic("tetris: Pack with mismatched current slices")
+	}
+	if pk.Budget <= 0 || pk.K <= 0 {
+		panic("tetris: Pack with non-positive budget or K")
+	}
+	if pk.Budget < pk.cost1() || pk.Budget < pk.cost0() {
+		// A budget below a single cell's current can never make
+		// progress; pcm.Params.Validate rules this out for real
+		// configurations, so hitting it means a caller bug.
+		panic(fmt.Sprintf("tetris: budget %d below per-cell current (%d/%d)",
+			pk.Budget, pk.cost1(), pk.cost0()))
+	}
+	n := len(in1)
+	s := Schedule{
+		K:      pk.K,
+		Write1: make([][]Alloc, n),
+		Write0: make([][]Alloc, n),
+	}
+
+	// wu1[j]: current committed to write unit j by write-1s. A write-1
+	// pulse spans the whole write unit, so it loads every one of the
+	// unit's K sub-slots for its full duration.
+	wu1 := make([]int, pk.MinResult)
+
+	for _, u := range pk.order(in1) {
+		need := in1[u]
+		if need == 0 {
+			continue
+		}
+		// Atomic first-fit into an existing write unit.
+		placed := false
+		if need <= pk.Budget {
+			for j := range wu1 {
+				if wu1[j]+need <= pk.Budget {
+					wu1[j] += need
+					s.Write1[u] = append(s.Write1[u], Alloc{Slot: j, Amount: need})
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				wu1 = append(wu1, need)
+				s.Write1[u] = append(s.Write1[u], Alloc{Slot: len(wu1) - 1, Amount: need})
+				placed = true
+			}
+		}
+		if !placed {
+			// Split regime: spread across write units, filling gaps
+			// first and appending as needed, in whole cells.
+			cost := pk.cost1()
+			for j := 0; need > 0; j++ {
+				if j == len(wu1) {
+					wu1 = append(wu1, 0)
+				}
+				take := min(pk.Budget-wu1[j], need) / cost * cost
+				if take <= 0 {
+					continue
+				}
+				wu1[j] += take
+				s.Write1[u] = append(s.Write1[u], Alloc{Slot: j, Amount: take})
+				need -= take
+			}
+		}
+	}
+	s.Result = len(wu1)
+
+	// sub[i]: current committed to global sub-slot i. Sub-slots within
+	// write unit j inherit the write-1 load wu1[j]; overflow sub-slots
+	// past result*K start empty. Overflow slots are materialized lazily.
+	sub := make([]int, s.Result*pk.K)
+	for j, used := range wu1 {
+		for k := 0; k < pk.K; k++ {
+			sub[j*pk.K+k] = used
+		}
+	}
+
+	for _, u := range pk.order(in0) {
+		need := in0[u]
+		if need == 0 {
+			continue
+		}
+		placed := false
+		if need <= pk.Budget {
+			for i := range sub {
+				if sub[i]+need <= pk.Budget {
+					sub[i] += need
+					s.Write0[u] = append(s.Write0[u], Alloc{Slot: i, Amount: need})
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				sub = append(sub, need)
+				s.Write0[u] = append(s.Write0[u], Alloc{Slot: len(sub) - 1, Amount: need})
+				placed = true
+			}
+		}
+		if !placed {
+			cost := pk.cost0()
+			for i := 0; need > 0; i++ {
+				if i == len(sub) {
+					sub = append(sub, 0)
+				}
+				take := min(pk.Budget-sub[i], need) / cost * cost
+				if take <= 0 {
+					continue
+				}
+				sub[i] += take
+				s.Write0[u] = append(s.Write0[u], Alloc{Slot: i, Amount: take})
+				need -= take
+			}
+		}
+	}
+	s.SubResult = len(sub) - s.Result*pk.K
+
+	return s
+}
+
+// order returns unit indices in packing order: decreasing need
+// (first-fit-decreasing) with index as tie-break, or plain arrival order
+// for the ablation.
+func (pk Packer) order(need []int) []int {
+	idx := make([]int, len(need))
+	for i := range idx {
+		idx[i] = i
+	}
+	if pk.ArrivalOrder {
+		return idx
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return need[idx[a]] > need[idx[b]]
+	})
+	return idx
+}
+
+// Validate checks a schedule's internal consistency against the inputs it
+// was built from: every unit's need fully allocated, no slot over budget,
+// write-0 slots within bounds.
+func (s Schedule) Validate(pk Packer, in1, in0 []int) error {
+	load := map[int]int{} // global sub-slot -> current
+	for u, allocs := range s.Write1 {
+		total := 0
+		for _, a := range allocs {
+			if a.Slot < 0 || a.Slot >= s.Result {
+				return fmt.Errorf("unit %d: write-1 slot %d outside [0, %d)", u, a.Slot, s.Result)
+			}
+			for k := 0; k < s.K; k++ {
+				load[a.Slot*s.K+k] += a.Amount
+			}
+			total += a.Amount
+		}
+		if total != in1[u] {
+			return fmt.Errorf("unit %d: write-1 allocated %d, need %d", u, total, in1[u])
+		}
+	}
+	maxSub := s.Result*s.K + s.SubResult
+	for u, allocs := range s.Write0 {
+		total := 0
+		for _, a := range allocs {
+			if a.Slot < 0 || a.Slot >= maxSub {
+				return fmt.Errorf("unit %d: write-0 sub-slot %d outside [0, %d)", u, a.Slot, maxSub)
+			}
+			load[a.Slot] += a.Amount
+			total += a.Amount
+		}
+		if total != in0[u] {
+			return fmt.Errorf("unit %d: write-0 allocated %d, need %d", u, total, in0[u])
+		}
+	}
+	for slot, cur := range load {
+		if cur > pk.Budget {
+			return fmt.Errorf("sub-slot %d: load %d exceeds budget %d", slot, cur, pk.Budget)
+		}
+	}
+	return nil
+}
+
+// WriteUnits returns the paper's Figure 10 metric for this schedule:
+// result + subresult/K.
+func (s Schedule) WriteUnits() float64 {
+	return float64(s.Result) + float64(s.SubResult)/float64(s.K)
+}

@@ -1,0 +1,102 @@
+package tetris
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+)
+
+func TestTetrisImplementsPresetter(t *testing.T) {
+	var s schemes.Scheme = New(pcm.DefaultParams())
+	if _, ok := s.(schemes.Presetter); !ok {
+		t.Fatal("tetris does not implement schemes.Presetter")
+	}
+}
+
+// TestPlanPresetCorrectness: the preset plan must validate, respect the
+// budget, and leave the array storing logical all-ones; the following
+// write must then be pure RESETs.
+func TestPlanPresetCorrectness(t *testing.T) {
+	par := pcm.DefaultParams()
+	s := New(par).(*scheme)
+	arr := schemes.NewArray(par)
+	rng := rand.New(rand.NewSource(15))
+	old := make([]byte, 64)
+	want := make([]byte, 64)
+	ones := make([]byte, 64)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	const addr = pcm.LineAddr(3)
+	for trial := 0; trial < 50; trial++ {
+		// A few normal writes first, to scatter flip state.
+		copy(want, old)
+		rng.Read(want[:16])
+		plan := s.PlanWrite(addr, old, want)
+		if err := arr.CheckWrite(addr, plan, want); err != nil {
+			t.Fatalf("trial %d write: %v", trial, err)
+		}
+		copy(old, want)
+
+		// Preset.
+		pp := s.PlanPreset(addr, old)
+		if err := arr.CheckWrite(addr, pp, ones); err != nil {
+			t.Fatalf("trial %d preset: %v", trial, err)
+		}
+		sets, _ := pp.Counts()
+		if sets == 0 && trial > 0 {
+			// Only an already-all-SET line presets for free; with random
+			// contents that should essentially never happen.
+			t.Fatalf("trial %d: preset pulsed no cells", trial)
+		}
+		copy(old, ones)
+
+		// The next write is RESET-only and needs no full write units.
+		copy(want, old)
+		for i := 0; i < 10; i++ {
+			b := rng.Intn(512)
+			want[b/8] &^= 1 << (b % 8) // clear bits: pure RESET work
+		}
+		plan = s.PlanWrite(addr, old, want)
+		if err := arr.CheckWrite(addr, plan, want); err != nil {
+			t.Fatalf("trial %d post-preset write: %v", trial, err)
+		}
+		psets, presets := plan.Counts()
+		if psets != 0 {
+			t.Fatalf("trial %d: post-preset write needed %d SETs", trial, psets)
+		}
+		if presets == 0 {
+			t.Fatalf("trial %d: post-preset write pulsed nothing", trial)
+		}
+		if plan.WriteUnits() >= 1 {
+			t.Errorf("trial %d: RESET-only write took %.3f write units, want sub-write-units only",
+				trial, plan.WriteUnits())
+		}
+		copy(old, want)
+	}
+}
+
+// TestPlanPresetIdempotent: presetting an all-ones line costs nothing.
+func TestPlanPresetIdempotent(t *testing.T) {
+	par := pcm.DefaultParams()
+	s := New(par).(*scheme)
+	ones := make([]byte, 64)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	// First preset from zero state costs SETs.
+	p1 := s.PlanPreset(7, make([]byte, 64))
+	if sets, _ := p1.Counts(); sets != 512 {
+		t.Errorf("preset from zeros pulsed %d cells, want 512", sets)
+	}
+	// Second preset from all-ones costs nothing.
+	p2 := s.PlanPreset(7, ones)
+	if sets, resets := p2.Counts(); sets+resets != 0 {
+		t.Errorf("preset of preset pulsed %d cells, want 0", sets+resets)
+	}
+	if p2.Write != 0 {
+		t.Errorf("idempotent preset has write phase %v", p2.Write)
+	}
+}

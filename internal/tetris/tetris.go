@@ -1,0 +1,329 @@
+package tetris
+
+import (
+	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/units"
+)
+
+// DefaultAnalysisCycles is the analysis-stage overhead measured by the
+// paper's Vivado HLS synthesis of the algorithm: 41 worst-case cycles at
+// the 400 MHz memory bus clock.
+const DefaultAnalysisCycles = 41
+
+// Options tune the Tetris Write implementation. The zero value is the
+// paper's configuration.
+type Options struct {
+	// AnalysisCycles is the scheduling overhead charged per write, in
+	// memory-clock cycles. Zero means DefaultAnalysisCycles; negative
+	// means no overhead (an idealized ASIC).
+	AnalysisCycles int
+	// DisableFlip skips the read stage's inversion coding (ablation).
+	// The read itself still happens — Tetris cannot count transitions
+	// without it.
+	DisableFlip bool
+	// ArrivalOrder packs units first-fit in arrival order instead of
+	// first-fit-decreasing (ablation).
+	ArrivalOrder bool
+	// TimeAwareFlip replaces the Hamming-minimizing inversion rule with
+	// a schedule-time-minimizing one (SETs weighted by K). Required for
+	// PreSET to pay off; see ReadStageTimeAware.
+	TimeAwareFlip bool
+}
+
+// scheme implements schemes.Scheme.
+type scheme struct {
+	par   pcm.Params
+	opt   Options
+	flips map[pcm.LineAddr]uint64 // flip tags, bit u*NumChips+c
+
+	// Per-write scratch buffers: PlanWrite sits on every simulated write
+	// and schemes are single-owner by contract, so reuse is safe.
+	workBuf  []UnitCounts // nc*nu entries, chip-major
+	domains  []packDomain
+	in1, in0 []int
+	cellBuf  []cellRef
+	maskBuf  []uint16 // per chip
+}
+
+// packDomain is one power domain handed to the packer.
+type packDomain struct {
+	chips  []int
+	budget int
+}
+
+// New returns the Tetris Write scheme with the paper's options.
+func New(par pcm.Params) schemes.Scheme { return NewWithOptions(par, Options{}) }
+
+// NewWithOptions returns the Tetris Write scheme with explicit options.
+func NewWithOptions(par pcm.Params, opt Options) schemes.Scheme {
+	if opt.AnalysisCycles == 0 {
+		opt.AnalysisCycles = DefaultAnalysisCycles
+	}
+	if opt.AnalysisCycles < 0 {
+		opt.AnalysisCycles = 0
+	}
+	return &scheme{par: par, opt: opt, flips: make(map[pcm.LineAddr]uint64)}
+}
+
+func (s *scheme) Name() string               { return "tetris" }
+func (s *scheme) NeedsReadBeforeWrite() bool { return true }
+
+func (s *scheme) flipBit(c, u int) uint64 { return 1 << uint(u*s.par.NumChips+c) }
+
+func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
+	p := schemes.Plan{
+		TSet:         s.par.TSet,
+		TReset:       s.par.TReset,
+		CurrentSet:   s.par.CurrentSet,
+		CurrentReset: s.par.CurrentReset,
+		Read:         s.par.TRead,
+		Analysis:     s.par.MemClock.Cycles(int64(s.opt.AnalysisCycles)),
+	}
+
+	nu := s.par.DataUnits()
+	nc := s.par.NumChips
+	k := s.par.K()
+
+	// Read stage: per (chip, unit) inversion decisions and counts,
+	// chip-major in the reused scratch buffer.
+	if len(s.workBuf) != nc*nu {
+		s.workBuf = make([]UnitCounts, nc*nu)
+	}
+	work := s.workBuf
+	flipWord := s.flips[addr]
+	wbits := s.par.ChipWidthBits
+	wb := wbits / 8
+	for c := 0; c < nc; c++ {
+		for u := 0; u < nu; u++ {
+			logicalOld := bitutil.ChipSlice(old, nc, wb, c, u)
+			logicalNew := bitutil.ChipSlice(new, nc, wb, c, u)
+			stored := bitutil.FlipWord{Bits: logicalOld, Flip: false}
+			if flipWord&s.flipBit(c, u) != 0 {
+				stored = bitutil.FlipWord{Bits: ^logicalOld & bitutil.WidthMask(wbits), Flip: true}
+			}
+			var uc UnitCounts
+			if s.opt.TimeAwareFlip && !s.opt.DisableFlip {
+				uc = ReadStageTimeAware(stored, logicalNew, wbits, k)
+			} else {
+				uc = ReadStage(stored, logicalNew, wbits, s.opt.DisableFlip)
+			}
+			work[c*nu+u] = uc
+			if uc.Enc.Flip {
+				flipWord |= s.flipBit(c, u)
+			} else {
+				flipWord &^= s.flipBit(c, u)
+			}
+		}
+	}
+	s.flips[addr] = flipWord
+
+	// Analysis stage: pack each power domain. Under a GCP the whole bank
+	// is one domain; otherwise each chip packs against its own pump.
+	if s.domains == nil {
+		if s.par.GlobalChargePump {
+			all := make([]int, nc)
+			for c := range all {
+				all[c] = c
+			}
+			s.domains = []packDomain{{chips: all, budget: s.par.BankBudget()}}
+		} else {
+			for c := 0; c < nc; c++ {
+				s.domains = append(s.domains, packDomain{chips: []int{c}, budget: s.par.ChipBudget})
+			}
+		}
+	}
+	domains := s.domains
+
+	maxResult, maxSub := 0, 0
+	type emission struct {
+		sched Schedule
+		dom   packDomain
+	}
+	var emissions []emission
+	if len(s.in1) != nu {
+		s.in1 = make([]int, nu)
+		s.in0 = make([]int, nu)
+	}
+	for _, dom := range domains {
+		in1, in0 := s.in1, s.in0
+		for u := 0; u < nu; u++ {
+			in1[u], in0[u] = 0, 0
+			for _, c := range dom.chips {
+				in1[u] += work[c*nu+u].N1() * s.par.CurrentSet
+				in0[u] += work[c*nu+u].N0() * s.par.CurrentReset
+			}
+		}
+		// Flip-cell SET riders need a Tset-long span even when no data
+		// cell SETs: reserve the write unit before packing so the
+		// write-0 pass can use its sub-slots.
+		minResult := 0
+		for u := 0; u < nu && minResult == 0; u++ {
+			for _, c := range dom.chips {
+				if work[c*nu+u].FlipSet {
+					minResult = 1
+					break
+				}
+			}
+		}
+		pk := Packer{
+			Budget:       dom.budget,
+			K:            k,
+			ArrivalOrder: s.opt.ArrivalOrder,
+			Cost1:        s.par.CurrentSet,
+			Cost0:        s.par.CurrentReset,
+			MinResult:    minResult,
+		}
+		sched := pk.Pack(in1, in0)
+
+		// Flip-cell RESET riders only need a Treset-long span.
+		for u := 0; u < nu; u++ {
+			for _, c := range dom.chips {
+				if work[c*nu+u].FlipReset && len(sched.Write0[u]) == 0 &&
+					sched.Result == 0 && sched.SubResult == 0 {
+					sched.SubResult = 1
+				}
+			}
+		}
+
+		if sched.Result > maxResult {
+			maxResult = sched.Result
+		}
+		if sched.SubResult > maxSub {
+			maxSub = sched.SubResult
+		}
+		emissions = append(emissions, emission{sched: sched, dom: dom})
+	}
+
+	// Sub-slot pitch: Tset/K, so Equation 5 holds exactly and a RESET
+	// pulse (Treset <= Tset/K) always fits its sub-slot.
+	pitch := s.par.TSet / units.Duration(k)
+	p.Write = units.Duration(maxResult)*s.par.TSet + units.Duration(maxSub)*pitch
+
+	for _, em := range emissions {
+		s.emitDomain(&p, em.sched, em.dom.chips, work, pitch)
+	}
+	p.SortPulses()
+	return p
+}
+
+// subSlotStart converts a global sub-slot index into a write-phase offset
+// for a domain scheduled with the given result.
+func subSlotStart(i, result, k int, tset, pitch units.Duration) units.Duration {
+	if i < result*k {
+		return units.Duration(i/k)*tset + units.Duration(i%k)*pitch
+	}
+	return units.Duration(result)*tset + units.Duration(i-result*k)*pitch
+}
+
+// emitDomain turns one domain's schedule into pulse records.
+func (s *scheme) emitDomain(p *schemes.Plan, sched Schedule, chips []int, work []UnitCounts, pitch units.Duration) {
+	nu := s.par.DataUnits()
+	nc := s.par.NumChips
+	k := sched.K
+	tset := s.par.TSet
+	if len(s.maskBuf) != nc {
+		s.maskBuf = make([]uint16, nc)
+	}
+	masks := s.maskBuf
+
+	for u := 0; u < nu; u++ {
+		// Write-1s: distribute the domain's SET cells (chip-major, bit
+		// order) across the unit's write-unit allocations.
+		setCells := s.cellStream(chips, work, u, true)
+		ci := 0
+		for _, a := range sched.Write1[u] {
+			n := a.Amount / s.par.CurrentSet
+			for j := 0; j < n; j++ {
+				cell := setCells[ci]
+				ci++
+				masks[cell.chip] |= 1 << cell.bit
+			}
+			for _, c := range chips {
+				if m := masks[c]; m != 0 {
+					p.Pulses = append(p.Pulses, schemes.Pulse{
+						Chip: c, Unit: u, Kind: schemes.Set,
+						Start: units.Duration(a.Slot) * tset, Mask: m,
+					})
+					masks[c] = 0
+				}
+			}
+		}
+
+		// Write-0s: same, across sub-slot allocations.
+		resetCells := s.cellStream(chips, work, u, false)
+		ci = 0
+		for _, a := range sched.Write0[u] {
+			n := a.Amount / s.par.CurrentReset
+			for j := 0; j < n; j++ {
+				cell := resetCells[ci]
+				ci++
+				masks[cell.chip] |= 1 << cell.bit
+			}
+			start := subSlotStart(a.Slot, sched.Result, k, tset, pitch)
+			for _, c := range chips {
+				if m := masks[c]; m != 0 {
+					p.Pulses = append(p.Pulses, schemes.Pulse{
+						Chip: c, Unit: u, Kind: schemes.Reset,
+						Start: start, Mask: m,
+					})
+					masks[c] = 0
+				}
+			}
+		}
+
+		// Flip cells: zero-budget riders placed in the unit's first slot
+		// of the matching kind, or the domain's first slot if the unit
+		// has no data pulses of that kind.
+		for _, c := range chips {
+			uc := work[c*nu+u]
+			if uc.FlipSet {
+				slot := 0
+				if len(sched.Write1[u]) > 0 {
+					slot = sched.Write1[u][0].Slot
+				}
+				p.Pulses = append(p.Pulses, schemes.Pulse{
+					Chip: c, Unit: u, Kind: schemes.Set,
+					Start: units.Duration(slot) * tset, FlipCell: true,
+				})
+			}
+			if uc.FlipReset {
+				var start units.Duration
+				if len(sched.Write0[u]) > 0 {
+					start = subSlotStart(sched.Write0[u][0].Slot, sched.Result, k, tset, pitch)
+				}
+				p.Pulses = append(p.Pulses, schemes.Pulse{
+					Chip: c, Unit: u, Kind: schemes.Reset,
+					Start: start, FlipCell: true,
+				})
+			}
+		}
+	}
+}
+
+type cellRef struct {
+	chip int
+	bit  int
+}
+
+// cellStream lists a unit's pulsed cells of one kind across the domain's
+// chips, in deterministic chip-major bit order. The returned slice is the
+// scheme's scratch buffer, valid until the next call.
+func (s *scheme) cellStream(chips []int, work []UnitCounts, u int, sets bool) []cellRef {
+	nu := s.par.DataUnits()
+	out := s.cellBuf[:0]
+	for _, c := range chips {
+		mask := work[c*nu+u].Tr.Resets
+		if sets {
+			mask = work[c*nu+u].Tr.Sets
+		}
+		for b := 0; b < 16; b++ {
+			if mask&(1<<b) != 0 {
+				out = append(out, cellRef{chip: c, bit: b})
+			}
+		}
+	}
+	s.cellBuf = out
+	return out
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/workload"
+)
+
+// FuzzReader: arbitrary bytes must never panic the decoder; valid
+// prefixes decode cleanly and corruption is reported as an error, not as
+// silently wrong records.
+func FuzzReader(f *testing.F) {
+	// Seed with a real trace.
+	par := pcm.DefaultParams()
+	prof, _ := workload.ProfileByName("vips")
+	recs := Generate(prof, 2, 1, par, 20)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2, par.LineBytes)
+	for _, r := range recs {
+		w.Write(r)
+	}
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("TWTRACE1 garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if rec.Core < 0 || rec.Core >= int(r.Header().Cores) {
+				t.Fatalf("decoded record with core %d of %d", rec.Core, r.Header().Cores)
+			}
+			if rec.Op.Write && len(rec.Op.Data) != int(r.Header().LineBytes) {
+				t.Fatal("decoded write with wrong payload length")
+			}
+		}
+	})
+}

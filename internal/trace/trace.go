@@ -1,0 +1,263 @@
+// Package trace defines the binary memory-trace format of the tool
+// chain: cmd/tracegen emits traces from the synthetic workloads, and the
+// simulators can replay them instead of generating operations on the fly
+// — which pins a workload exactly (for cross-machine reproducibility or
+// external trace import) rather than relying on seed stability.
+//
+// Format: a 16-byte header ("TWTRACE1", version uint16, cores uint16,
+// line bytes uint32), then length-prefixed records:
+//
+//	record := core uint8, kind uint8, think varint, addr varint, [payload]
+//
+// kind 0 is a read; kind 1 is a write followed by LineBytes of payload.
+// Multi-core traces interleave records in generation order; Reader can
+// filter one core's stream.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/workload"
+)
+
+// magic identifies a trace stream.
+var magic = [8]byte{'T', 'W', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// Version is the current format version.
+const Version = 1
+
+// Header describes a trace stream.
+type Header struct {
+	Version   uint16
+	Cores     uint16
+	LineBytes uint32
+}
+
+// Record is one traced memory operation.
+type Record struct {
+	Core int
+	Op   workload.Op
+}
+
+const (
+	kindRead  = 0
+	kindWrite = 1
+)
+
+// Writer encodes records to a stream.
+type Writer struct {
+	w      *bufio.Writer
+	hdr    Header
+	closed bool
+	n      int64
+}
+
+// NewWriter writes a header and returns an encoder.
+func NewWriter(w io.Writer, cores, lineBytes int) (*Writer, error) {
+	if cores <= 0 || cores > 1<<16-1 {
+		return nil, fmt.Errorf("trace: bad core count %d", cores)
+	}
+	if lineBytes <= 0 {
+		return nil, fmt.Errorf("trace: bad line size %d", lineBytes)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	hdr := Header{Version: Version, Cores: uint16(cores), LineBytes: uint32(lineBytes)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, hdr: hdr}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec Record) error {
+	if w.closed {
+		return errors.New("trace: write after Flush")
+	}
+	if rec.Core < 0 || rec.Core >= int(w.hdr.Cores) {
+		return fmt.Errorf("trace: core %d out of range", rec.Core)
+	}
+	if rec.Op.Think < 0 || rec.Op.Addr < 0 {
+		return fmt.Errorf("trace: negative think or address")
+	}
+	var buf [2 + 2*binary.MaxVarintLen64]byte
+	buf[0] = byte(rec.Core)
+	if rec.Op.Write {
+		buf[1] = kindWrite
+	} else {
+		buf[1] = kindRead
+	}
+	n := 2
+	n += binary.PutUvarint(buf[n:], uint64(rec.Op.Think))
+	n += binary.PutUvarint(buf[n:], uint64(rec.Op.Addr))
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	if rec.Op.Write {
+		if len(rec.Op.Data) != int(w.hdr.LineBytes) {
+			return fmt.Errorf("trace: payload %d bytes, line is %d", len(rec.Op.Data), w.hdr.LineBytes)
+		}
+		if _, err := w.w.Write(rec.Op.Data); err != nil {
+			return err
+		}
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush completes the stream.
+func (w *Writer) Flush() error {
+	w.closed = true
+	return w.w.Flush()
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r   *bufio.Reader
+	hdr Header
+}
+
+// NewReader validates the header and returns a decoder.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic; not a trace stream")
+	}
+	var hdr Header
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr.Version != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr.Version)
+	}
+	return &Reader{r: br, hdr: hdr}, nil
+}
+
+// Header returns the stream header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next decodes one record. It returns io.EOF at a clean end of stream.
+func (r *Reader) Next() (Record, error) {
+	core, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	if int(core) >= int(r.hdr.Cores) {
+		return Record{}, fmt.Errorf("trace: record core %d out of range", core)
+	}
+	kind, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	if kind != kindRead && kind != kindWrite {
+		return Record{}, fmt.Errorf("trace: unknown record kind %d", kind)
+	}
+	think, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated think: %w", err)
+	}
+	addr, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated addr: %w", err)
+	}
+	rec := Record{
+		Core: int(core),
+		Op: workload.Op{
+			Think: int64(think),
+			Addr:  pcm.LineAddr(addr),
+			Write: kind == kindWrite,
+		},
+	}
+	if rec.Op.Write {
+		rec.Op.Data = make([]byte, r.hdr.LineBytes)
+		if _, err := io.ReadFull(r.r, rec.Op.Data); err != nil {
+			return Record{}, fmt.Errorf("trace: truncated payload: %w", err)
+		}
+	}
+	return rec, nil
+}
+
+// ReadAll decodes the whole stream.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// CoreSource adapts one core's records from a fully decoded trace into a
+// cpu.OpSource. When the trace runs dry the source repeats its last
+// operation with a huge think gap, letting the core idle out its
+// instruction budget deterministically.
+type CoreSource struct {
+	ops []workload.Op
+	i   int
+}
+
+// NewCoreSource filters records for one core.
+func NewCoreSource(recs []Record, core int) *CoreSource {
+	s := &CoreSource{}
+	for _, r := range recs {
+		if r.Core == core {
+			s.ops = append(s.ops, r.Op)
+		}
+	}
+	return s
+}
+
+// Len returns the number of operations for the core.
+func (s *CoreSource) Len() int { return len(s.ops) }
+
+// Next returns the next operation.
+func (s *CoreSource) Next() workload.Op {
+	if s.i < len(s.ops) {
+		op := s.ops[s.i]
+		s.i++
+		return op
+	}
+	return workload.Op{Think: 1 << 40, Addr: 0}
+}
+
+// Generate captures n operations of every core of a workload program
+// into a record stream, in round-robin interleaving.
+func Generate(prof workload.Profile, cores int, seed int64, par pcm.Params, n int) []Record {
+	prog := workload.NewProgram(prof, cores, seed, par)
+	gens := make([]*workload.Generator, cores)
+	for i := range gens {
+		gens[i] = prog.Generator(i)
+	}
+	out := make([]Record, 0, n)
+	for len(out) < n {
+		for c, g := range gens {
+			if len(out) >= n {
+				break
+			}
+			out = append(out, Record{Core: c, Op: g.Next()})
+		}
+	}
+	return out
+}

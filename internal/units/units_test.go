@@ -1,0 +1,117 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationConstants(t *testing.T) {
+	if Nanosecond != 1000 {
+		t.Errorf("Nanosecond = %d ps, want 1000", Nanosecond)
+	}
+	if Second != 1e12 {
+		t.Errorf("Second = %d ps, want 1e12", Second)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	var t0 Time = 100
+	t1 := t0.Add(50 * Picosecond)
+	if t1 != 150 {
+		t.Errorf("Add = %d, want 150", t1)
+	}
+	if d := t1.Sub(t0); d != 50 {
+		t.Errorf("Sub = %d, want 50", d)
+	}
+}
+
+func TestNanoseconds(t *testing.T) {
+	if d := Nanoseconds(2.5); d != 2500 {
+		t.Errorf("Nanoseconds(2.5) = %d ps, want 2500", d)
+	}
+	if got := (2500 * Picosecond).Nanoseconds(); got != 2.5 {
+		t.Errorf("Nanoseconds() = %v, want 2.5", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0"},
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{Second, "1s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestClockPeriods(t *testing.T) {
+	cpu := NewClock(2e9) // 2 GHz
+	if cpu.Period() != 500 {
+		t.Errorf("2GHz period = %d ps, want 500", cpu.Period())
+	}
+	bus := NewClock(400e6) // 400 MHz
+	if bus.Period() != 2500 {
+		t.Errorf("400MHz period = %d ps, want 2500", bus.Period())
+	}
+	if cpu.Cycles(4) != 2000 {
+		t.Errorf("Cycles(4) = %d, want 2000", cpu.Cycles(4))
+	}
+	if bus.CyclesIn(10000) != 4 {
+		t.Errorf("CyclesIn(10000) = %d, want 4", bus.CyclesIn(10000))
+	}
+}
+
+func TestClockPanics(t *testing.T) {
+	for _, hz := range []float64{0, -1, 2e12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewClock(%v) did not panic", hz)
+				}
+			}()
+			NewClock(hz)
+		}()
+	}
+}
+
+func TestNextEdge(t *testing.T) {
+	c := NewClock(400e6) // 2500 ps period
+	if got := c.NextEdge(0); got != 0 {
+		t.Errorf("NextEdge(0) = %d, want 0", got)
+	}
+	if got := c.NextEdge(2500); got != 2500 {
+		t.Errorf("NextEdge(2500) = %d, want 2500", got)
+	}
+	if got := c.NextEdge(2501); got != 5000 {
+		t.Errorf("NextEdge(2501) = %d, want 5000", got)
+	}
+}
+
+// Property: NextEdge lands on a multiple of the period, never before t, and
+// less than one period after t.
+func TestNextEdgeProperty(t *testing.T) {
+	c := NewClock(333e6)
+	f := func(raw uint32) bool {
+		tm := Time(raw)
+		e := c.NextEdge(tm)
+		if e < tm {
+			return false
+		}
+		if Duration(e-tm) >= c.Period() {
+			return false
+		}
+		return Duration(e)%c.Period() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

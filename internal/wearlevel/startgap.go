@@ -1,0 +1,142 @@
+// Package wearlevel implements Start-Gap wear leveling (Qureshi et al.,
+// MICRO'09), the endurance mechanism the paper cites for PCM main memory.
+// PCM cells wear out after ~10^8 writes, and write schemes like Tetris
+// Write reduce *how many* cells each write programs, while wear leveling
+// spreads *where* the writes land; the two compose, which is why this
+// substrate ships alongside the scheduler.
+//
+// Start-Gap maps N logical lines onto N+1 physical lines with two
+// registers and zero tables: physical = p0 + (p0 >= Gap ? 1 : 0) where
+// p0 = (logical + Start) mod N. Every psi writes the gap moves one slot
+// down (copying one line); after it sweeps the whole region, Start
+// advances and the entire mapping has rotated by one.
+package wearlevel
+
+import (
+	"fmt"
+
+	"tetriswrite/internal/pcm"
+)
+
+// StartGap is the register state of one wear-leveling region.
+type StartGap struct {
+	n      int64 // logical lines in the region
+	start  int64 // rotation register, [0, n)
+	gap    int64 // gap slot, [0, n]
+	psi    int   // writes per gap move
+	writes int   // writes since the last gap move
+	moves  int64 // total gap moves performed
+}
+
+// Move describes one line copy a gap move performs: the contents of
+// physical slot From must be copied to physical slot To (the previous gap
+// position).
+type Move struct {
+	From, To int64
+}
+
+// NewStartGap creates a region of n logical lines with a gap move every
+// psi writes. Qureshi et al. recommend psi = 100, trading <1% extra
+// writes for near-perfect leveling.
+func NewStartGap(n int64, psi int) (*StartGap, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wearlevel: region of %d lines", n)
+	}
+	if psi < 1 {
+		return nil, fmt.Errorf("wearlevel: psi %d", psi)
+	}
+	return &StartGap{n: n, gap: n, psi: psi}, nil
+}
+
+// Lines returns the number of logical lines.
+func (s *StartGap) Lines() int64 { return s.n }
+
+// PhysicalSlots returns the number of physical slots (lines + 1 gap).
+func (s *StartGap) PhysicalSlots() int64 { return s.n + 1 }
+
+// Gap returns the current gap slot (the physical slot holding no line).
+func (s *StartGap) Gap() int64 { return s.gap }
+
+// Moves returns the total number of gap moves so far.
+func (s *StartGap) Moves() int64 { return s.moves }
+
+// Map translates a logical line to its physical slot.
+func (s *StartGap) Map(logical int64) int64 {
+	if logical < 0 || logical >= s.n {
+		panic(fmt.Sprintf("wearlevel: logical line %d outside region of %d", logical, s.n))
+	}
+	p0 := (logical + s.start) % s.n
+	if p0 >= s.gap {
+		return p0 + 1
+	}
+	return p0
+}
+
+// OnWrite accounts one line write. Every psi-th write triggers a gap
+// move; the returned Move (valid when ok) tells the caller which physical
+// line to copy. The caller must perform the copy for the mapping to stay
+// consistent with the stored data.
+func (s *StartGap) OnWrite() (mv Move, ok bool) {
+	s.writes++
+	if s.writes < s.psi {
+		return Move{}, false
+	}
+	s.writes = 0
+	s.moves++
+	if s.gap > 0 {
+		mv = Move{From: s.gap - 1, To: s.gap}
+		s.gap--
+		return mv, true
+	}
+	// The gap reached slot 0: wrap. The line in the last slot moves into
+	// the gap, the gap re-parks at the top, and the rotation register
+	// advances — the whole region has now shifted by one.
+	mv = Move{From: s.n, To: 0}
+	s.gap = s.n
+	s.start = (s.start + 1) % s.n
+	return mv, true
+}
+
+// Region applies a StartGap to a window of the PCM line address space:
+// logical line i of the region is device line Base+i before remapping.
+type Region struct {
+	Base pcm.LineAddr // first physical line of the region
+	SG   *StartGap
+}
+
+// NewRegion creates a wear-leveled region of n logical lines backed by
+// n+1 physical lines starting at base.
+func NewRegion(base pcm.LineAddr, n int64, psi int) (*Region, error) {
+	sg, err := NewStartGap(n, psi)
+	if err != nil {
+		return nil, err
+	}
+	return &Region{Base: base, SG: sg}, nil
+}
+
+// Contains reports whether the logical address falls in this region.
+func (r *Region) Contains(addr pcm.LineAddr) bool {
+	off := int64(addr) - int64(r.Base)
+	return off >= 0 && off < r.SG.Lines()
+}
+
+// Translate maps a logical line address to its physical line address.
+// Addresses outside the region pass through unchanged.
+func (r *Region) Translate(addr pcm.LineAddr) pcm.LineAddr {
+	if !r.Contains(addr) {
+		return addr
+	}
+	off := int64(addr) - int64(r.Base)
+	return r.Base + pcm.LineAddr(r.SG.Map(off))
+}
+
+// OnWrite accounts a write to a logical address in the region and
+// returns the physical copy (in device addresses) a triggered gap move
+// requires.
+func (r *Region) OnWrite() (from, to pcm.LineAddr, ok bool) {
+	mv, moved := r.SG.OnWrite()
+	if !moved {
+		return 0, 0, false
+	}
+	return r.Base + pcm.LineAddr(mv.From), r.Base + pcm.LineAddr(mv.To), true
+}

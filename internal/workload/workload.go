@@ -1,0 +1,403 @@
+// Package workload provides synthetic multi-threaded memory workloads
+// calibrated to the paper's evaluation: one generator per PARSEC 2.0
+// program used in the paper, matching Table III (memory reads and writes
+// per kilo-instruction, data-sharing level) and Figure 3 (the measured
+// number of SET and RESET operations per 64-bit data unit after
+// inversion).
+//
+// The paper's traces are not available (GEM5 + PARSEC), so these
+// generators are the documented substitution: the evaluation depends on
+// the workloads only through (a) their memory intensity and read/write
+// mix, and (b) the bit-change statistics of the written data — both of
+// which the paper publishes and these generators reproduce. Addresses
+// follow a Zipf distribution over a per-core private region plus a shared
+// region sized by the program's sharing level, and every write carries a
+// real 64-byte payload mutated from the generator's shadow of memory so
+// the bit-level write schemes see realistic transition vectors.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tetriswrite/internal/pcm"
+)
+
+// Profile describes one synthetic workload.
+type Profile struct {
+	Name   string
+	Domain string // application domain, from Table III
+
+	// Memory intensity (Table III): memory reads and writes per
+	// kilo-instruction.
+	RPKI, WPKI float64
+
+	// Bit-change statistics (Figure 3): mean SET and RESET operations
+	// per 64-bit data unit of a written line, after inversion coding.
+	MeanSets, MeanResets float64
+
+	// Sharing is the fraction of accesses that target the shared region
+	// (derived from Table III's data-sharing level: low ~ 0.05,
+	// medium ~ 0.15, high ~ 0.35).
+	Sharing float64
+
+	// PrivateLines and SharedLines size the address regions per core and
+	// for the whole program. Zero means the package defaults.
+	PrivateLines int
+	SharedLines  int
+
+	// ZipfS is the Zipf skew of intra-region accesses (default 1.2).
+	ZipfS float64
+
+	// UntouchedUnits is the probability that a written cache line leaves
+	// one of its 64-bit data units completely unchanged — the knob that
+	// makes per-unit counts over-dispersed like real data.
+	UntouchedUnits float64
+
+	// Burstiness adds two-phase (Markov-modulated) arrival behaviour:
+	// the generator alternates between a burst phase with think gaps
+	// scaled by (1-Burstiness) and an idle phase scaled by
+	// (1+Burstiness), switching phases with probability 5% per access.
+	// The mean gap — and therefore RPKI/WPKI — is preserved; only the
+	// variance grows. 0 (the default) keeps plain geometric gaps.
+	Burstiness float64
+}
+
+// Profiles returns the eight PARSEC 2.0 workloads of the paper's
+// Table III, calibrated so the suite-wide means match the paper's
+// Observation 1: ~9.6 bit-writes per 64-bit unit, ~2:1 SET-dominant
+// (6.7 SET + 2.9 RESET), with vips and ferret closer to fifty-fifty.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "blackscholes", Domain: "Financial Analysis", RPKI: 0.04, WPKI: 0.02,
+			MeanSets: 1.4, MeanResets: 0.6, Sharing: 0.05},
+		{Name: "bodytrack", Domain: "Computer Vision", RPKI: 0.72, WPKI: 0.24,
+			MeanSets: 6.0, MeanResets: 2.0, Sharing: 0.25},
+		{Name: "canneal", Domain: "Engineering", RPKI: 2.76, WPKI: 0.19,
+			MeanSets: 5.5, MeanResets: 1.0, Sharing: 0.35},
+		{Name: "dedup", Domain: "Enterprise Storage", RPKI: 0.82, WPKI: 0.49,
+			MeanSets: 11.0, MeanResets: 4.0, Sharing: 0.35},
+		{Name: "ferret", Domain: "Similarity Search", RPKI: 1.67, WPKI: 0.95,
+			MeanSets: 6.0, MeanResets: 6.0, Sharing: 0.35},
+		{Name: "freqmine", Domain: "Data Mining", RPKI: 0.62, WPKI: 0.25,
+			MeanSets: 5.5, MeanResets: 1.5, Sharing: 0.25},
+		{Name: "swaptions", Domain: "Financial Analysis", RPKI: 0.04, WPKI: 0.02,
+			MeanSets: 3.2, MeanResets: 0.8, Sharing: 0.05},
+		{Name: "vips", Domain: "Media Processing", RPKI: 2.56, WPKI: 1.56,
+			MeanSets: 11.0, MeanResets: 8.0, Sharing: 0.15},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+}
+
+// Op is one memory operation of a core's instruction stream.
+type Op struct {
+	// Think is the number of instructions the core retires before
+	// issuing this access.
+	Think int64
+	// Write indicates a memory write; Data then holds the full line
+	// payload (reads carry nil Data).
+	Write bool
+	Addr  pcm.LineAddr
+	Data  []byte
+}
+
+const (
+	defaultPrivateLines = 8192
+	defaultSharedLines  = 8192
+	defaultZipfS        = 1.2
+	defaultUntouched    = 0.35
+)
+
+// Generator produces one core's deterministic operation stream. Cores of
+// the same program share the shared-region shadow through the Program
+// that created them.
+type Generator struct {
+	prof     Profile
+	core     int
+	rng      *rand.Rand
+	zipfPriv *rand.Zipf
+	zipfShrd *rand.Zipf
+	prog     *Program
+	privBase pcm.LineAddr
+	frontier pcm.LineAddr // next fresh line for this core
+	frontEnd pcm.LineAddr
+	lineLen  int
+	meanGap  float64
+	inBurst  bool
+	// freshFrac is the fraction of writes that allocate a fresh line:
+	// (MeanSets-MeanResets)/(MeanSets+MeanResets). Fresh lines start all
+	// zeros (like untouched PCM), so their first write is pure SETs;
+	// resident lines are toggled and therefore balanced. The mixture
+	// reproduces both Figure 3 means — a closed bit-flip process alone
+	// cannot sustain SET-dominance, allocation churn is what does.
+	freshFrac float64
+}
+
+// Program is one multi-threaded workload instance: a profile plus the
+// shared memory shadow its cores mutate.
+type Program struct {
+	prof      Profile
+	par       pcm.Params
+	seed      int64
+	shadow    map[pcm.LineAddr][]byte
+	shrdBase  pcm.LineAddr
+	frontBase pcm.LineAddr
+	cores     int
+}
+
+// frontierCap bounds each core's fresh-allocation region.
+const frontierCap = 1 << 22
+
+// NewProgram instantiates a workload for the given core count.
+func NewProgram(prof Profile, cores int, seed int64, par pcm.Params) *Program {
+	if prof.PrivateLines <= 0 {
+		prof.PrivateLines = defaultPrivateLines
+	}
+	if prof.SharedLines <= 0 {
+		prof.SharedLines = defaultSharedLines
+	}
+	if prof.ZipfS <= 0 {
+		prof.ZipfS = defaultZipfS
+	}
+	if prof.UntouchedUnits <= 0 {
+		prof.UntouchedUnits = defaultUntouched
+	}
+	if prof.Burstiness < 0 || prof.Burstiness >= 1 {
+		prof.Burstiness = 0
+	}
+	shrdBase := pcm.LineAddr(int64(cores) * int64(prof.PrivateLines))
+	return &Program{
+		prof:   prof,
+		par:    par,
+		seed:   seed,
+		shadow: make(map[pcm.LineAddr][]byte),
+		// The shared region sits above all private regions, and the
+		// fresh-allocation frontier above that.
+		shrdBase:  shrdBase,
+		frontBase: shrdBase + pcm.LineAddr(prof.SharedLines),
+		cores:     cores,
+	}
+}
+
+// Profile returns the program's (normalized) profile.
+func (p *Program) Profile() Profile { return p.prof }
+
+// Generator returns core c's operation stream.
+func (p *Program) Generator(core int) *Generator {
+	if core < 0 || core >= p.cores {
+		panic(fmt.Sprintf("workload: core %d of %d", core, p.cores))
+	}
+	rng := rand.New(rand.NewSource(p.seed*1000003 + int64(core)*7919 + 1))
+	apki := p.prof.RPKI + p.prof.WPKI
+	total := p.prof.MeanSets + p.prof.MeanResets
+	g := &Generator{
+		prof:      p.prof,
+		core:      core,
+		rng:       rng,
+		prog:      p,
+		privBase:  pcm.LineAddr(int64(core) * int64(p.prof.PrivateLines)),
+		frontier:  p.frontBase + pcm.LineAddr(int64(core)*frontierCap),
+		lineLen:   p.par.LineBytes,
+		meanGap:   1000 / apki,
+		freshFrac: (p.prof.MeanSets - p.prof.MeanResets) / total,
+	}
+	g.frontEnd = g.frontier + frontierCap
+	g.zipfPriv = rand.NewZipf(rng, p.prof.ZipfS, 1, uint64(p.prof.PrivateLines-1))
+	g.zipfShrd = rand.NewZipf(rng, p.prof.ZipfS, 1, uint64(p.prof.SharedLines-1))
+	return g
+}
+
+// initialLine returns the deterministic initial contents of a line:
+// zeros in the frontier region (like untouched PCM), a 50/50 bit mix in
+// the resident regions (so toggling stays balanced). Derived from the
+// address and program seed only, so simulators can reconstruct it to
+// pre-load the device.
+func (p *Program) initialLine(addr pcm.LineAddr) []byte {
+	l := make([]byte, p.par.LineBytes)
+	if addr >= p.frontBase {
+		return l
+	}
+	r := rand.New(rand.NewSource(p.seed ^ int64(uint64(addr)*0x9E3779B97F4A7C15>>1)))
+	r.Read(l)
+	return l
+}
+
+// shadowLine returns the program's live shadow of a line, creating it
+// from initialLine on first touch.
+func (p *Program) shadowLine(addr pcm.LineAddr) []byte {
+	if l, ok := p.shadow[addr]; ok {
+		return l
+	}
+	l := p.initialLine(addr)
+	p.shadow[addr] = l
+	return l
+}
+
+// InitialContents returns the contents a simulator should pre-load the
+// PCM device with before the program's first access to addr. For
+// frontier (fresh-allocation) lines this is all zeros, matching untouched
+// PCM; for resident lines it is the line's deterministic initial mix.
+func (p *Program) InitialContents(addr pcm.LineAddr) []byte {
+	return p.initialLine(addr)
+}
+
+// Next produces the core's next operation.
+func (g *Generator) Next() Op {
+	op := Op{Think: g.thinkGap()}
+	// Read/write mix per Table III.
+	op.Write = g.rng.Float64() < g.prof.WPKI/(g.prof.RPKI+g.prof.WPKI)
+	if op.Write && g.rng.Float64() < g.freshFrac {
+		op.Addr = g.allocFresh()
+		op.Data = g.freshPayload(op.Addr)
+		return op
+	}
+	op.Addr = g.pickAddr()
+	if op.Write {
+		op.Data = g.mutateResident(op.Addr)
+	}
+	return op
+}
+
+// allocFresh advances the core's allocation frontier, wrapping (and thus
+// recycling very old allocations) if the region is exhausted.
+func (g *Generator) allocFresh() pcm.LineAddr {
+	a := g.frontier
+	g.frontier++
+	if g.frontier >= g.frontEnd {
+		g.frontier = g.frontEnd - frontierCap
+	}
+	return a
+}
+
+// thinkGap samples the instruction gap before an access: geometric with
+// mean 1000/(RPKI+WPKI), so access counts per kilo-instruction match the
+// profile in expectation. With Burstiness set, the mean is modulated by
+// the current phase (burst or idle) while the long-run mean is
+// preserved.
+func (g *Generator) thinkGap() int64 {
+	u := g.rng.Float64()
+	for u == 0 {
+		u = g.rng.Float64()
+	}
+	mean := g.meanGap
+	if b := g.prof.Burstiness; b > 0 {
+		if g.rng.Float64() < 0.05 {
+			g.inBurst = !g.inBurst
+		}
+		if g.inBurst {
+			mean *= 1 - b
+		} else {
+			mean *= 1 + b
+		}
+	}
+	gap := int64(-mean * math.Log(u))
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// pickAddr draws the target line: shared region with probability Sharing,
+// else the core's private region; Zipf-ranked within the region.
+func (g *Generator) pickAddr() pcm.LineAddr {
+	if g.rng.Float64() < g.prof.Sharing {
+		return g.prog.shrdBase + pcm.LineAddr(g.zipfShrd.Uint64())
+	}
+	return g.privBase + pcm.LineAddr(g.zipfPriv.Uint64())
+}
+
+// freshPayload builds the first write to a fresh (all-zero) line: per
+// data unit, MeanSets+MeanResets bits are set — pure SET work over
+// untouched PCM, the source of the suite's SET-dominance.
+func (g *Generator) freshPayload(addr pcm.LineAddr) []byte {
+	line := g.prog.shadowLine(addr)
+	unitBytes := 8
+	scale := 1 / (1 - g.prof.UntouchedUnits)
+	perUnit := g.prof.MeanSets + g.prof.MeanResets
+	for u := 0; u < len(line)/unitBytes; u++ {
+		if g.rng.Float64() < g.prof.UntouchedUnits {
+			continue
+		}
+		n := g.poisson(perUnit * scale)
+		unit := line[u*unitBytes : (u+1)*unitBytes]
+		for _, b := range g.distinctBits(n, unitBytes*8) {
+			unit[b/8] |= 1 << (b % 8)
+		}
+	}
+	return append([]byte(nil), line...)
+}
+
+// distinctBits samples n distinct bit positions in [0, width) by partial
+// Fisher-Yates, so a unit's mutation changes exactly n cells (sampling
+// with replacement would silently undershoot through collisions).
+func (g *Generator) distinctBits(n, width int) []int {
+	if n > width {
+		n = width
+	}
+	if n == 0 {
+		return nil
+	}
+	perm := make([]int, width)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + g.rng.Intn(width-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:n]
+}
+
+// mutateResident toggles bits of a resident line's shadow: per data unit,
+// MeanSets+MeanResets uniformly chosen bits flip. Over the 50/50 resident
+// mix, flips split evenly between SETs and RESETs, so resident writes
+// contribute (MeanSets+MeanResets)/2 of each — which combined with the
+// fresh-write stream reproduces both Figure 3 means.
+func (g *Generator) mutateResident(addr pcm.LineAddr) []byte {
+	line := g.prog.shadowLine(addr)
+	unitBytes := 8
+	scale := 1 / (1 - g.prof.UntouchedUnits)
+	perUnit := g.prof.MeanSets + g.prof.MeanResets
+	for u := 0; u < len(line)/unitBytes; u++ {
+		if g.rng.Float64() < g.prof.UntouchedUnits {
+			continue
+		}
+		n := g.poisson(perUnit * scale)
+		unit := line[u*unitBytes : (u+1)*unitBytes]
+		for _, b := range g.distinctBits(n, unitBytes*8) {
+			unit[b/8] ^= 1 << (b % 8)
+		}
+	}
+	return append([]byte(nil), line...)
+}
+
+// poisson samples a Poisson variate with the given mean (Knuth's method;
+// means here are < 30, so the naive product loop is fine).
+func (g *Generator) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 512 { // numerical safety net; unreachable for sane means
+			return k
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package tetriswrite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemeNames(t *testing.T) {
+	par := DefaultParams()
+	for _, name := range SchemeNames() {
+		s, err := NewScheme(name, par)
+		if err != nil {
+			t.Errorf("NewScheme(%q): %v", name, err)
+			continue
+		}
+		if s == nil {
+			t.Errorf("NewScheme(%q) returned nil", name)
+		}
+	}
+	// Aliases.
+	for alias, canonical := range map[string]string{
+		"baseline": "dcw", "2stage": "twostage", "3stage": "threestage", "flip-n-write": "fnw",
+	} {
+		a, err := NewScheme(alias, par)
+		if err != nil {
+			t.Fatalf("alias %q: %v", alias, err)
+		}
+		c, _ := NewScheme(canonical, par)
+		if a.Name() != c.Name() {
+			t.Errorf("alias %q resolves to %q, want %q", alias, a.Name(), c.Name())
+		}
+	}
+	if _, err := NewScheme("nope", par); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	bad := par
+	bad.LineBytes = 0
+	if _, err := NewScheme("tetris", bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestPlanWriteThroughPublicAPI(t *testing.T) {
+	par := DefaultParams()
+	s, err := NewScheme("tetris", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := make([]byte, 64)
+	new := make([]byte, 64)
+	new[0] = 0x0F
+	plan := s.PlanWrite(0, old, new)
+	if plan.ServiceTime() <= 0 {
+		t.Error("empty service time")
+	}
+	sets, resets := plan.Counts()
+	if sets != 4 || resets != 0 {
+		t.Errorf("counts = %d/%d, want 4 sets", sets, resets)
+	}
+}
+
+func TestNewTetrisOptions(t *testing.T) {
+	par := DefaultParams()
+	s, err := NewTetris(par, TetrisOptions{AnalysisCycles: -1, ArrivalOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := make([]byte, 64)
+	new := make([]byte, 64)
+	new[1] = 1
+	if plan := s.PlanWrite(0, old, new); plan.Analysis != 0 {
+		t.Errorf("analysis overhead %v with AnalysisCycles=-1", plan.Analysis)
+	}
+}
+
+func TestWorkloadsPublic(t *testing.T) {
+	if len(Workloads()) != 8 {
+		t.Errorf("Workloads() = %d profiles, want 8", len(Workloads()))
+	}
+	if _, err := WorkloadByName("vips"); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadByName("doom"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunSystemPublic(t *testing.T) {
+	res, err := RunSystem("canneal", "tetris", SystemConfig{InstrBudget: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "tetris" || res.Workload != "canneal" {
+		t.Errorf("labels: %s/%s", res.Scheme, res.Workload)
+	}
+	if res.IPC <= 0 {
+		t.Error("no IPC measured")
+	}
+	if _, err := RunSystem("canneal", "nope", SystemConfig{}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := RunSystem("nope", "tetris", SystemConfig{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFigureHelpersRender(t *testing.T) {
+	opt := EvalOptions{Writes: 100, InstrBudget: 20_000}
+	if out := Figure3(opt); !strings.Contains(out, "Figure 3") {
+		t.Error("Figure3 render broken")
+	}
+	if out := Table3(opt); !strings.Contains(out, "Table III") {
+		t.Error("Table3 render broken")
+	}
+	if out := Figure10(opt); !strings.Contains(out, "Figure 10") {
+		t.Error("Figure10 render broken")
+	}
+	if out := Figure4(DefaultParams()); !strings.Contains(out, "Figure 4") {
+		t.Error("Figure4 render broken")
+	}
+}
+
+func TestPublicSweepsAndChecks(t *testing.T) {
+	opt := EvalOptions{Writes: 60, InstrBudget: 20_000}
+	if out := LineSizeSweep(opt); !strings.Contains(out, "Line-size sweep") {
+		t.Error("LineSizeSweep render broken")
+	}
+	if out := BudgetSweep(opt); !strings.Contains(out, "Power-budget sweep") {
+		t.Error("BudgetSweep render broken")
+	}
+	out, err := Endurance(EvalOptions{Writes: 60, InstrBudget: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Endurance") {
+		t.Error("Endurance render broken")
+	}
+	results, err := Check(EvalOptions{Writes: 200, InstrBudget: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Error("Check returned no results")
+	}
+}
+
+// TestX8ChipConfiguration: the paper mentions X8 parts as a common write
+// division; the whole scheme stack must work with 8-bit chips.
+func TestX8ChipConfiguration(t *testing.T) {
+	par := DefaultParams()
+	par.ChipWidthBits = 8
+	par.NumChips = 8 // keep the 8-byte bank write unit
+	par.ChipBudget = 16
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range SchemeNames() {
+		s, err := NewScheme(name, par)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		old := make([]byte, 64)
+		new := make([]byte, 64)
+		for i := range new {
+			new[i] = byte(i)
+		}
+		plan := s.PlanWrite(0, old, new)
+		if plan.ServiceTime() <= 0 {
+			t.Errorf("%s: empty plan on x8 config", name)
+		}
+		if err := plan.Validate(par); err != nil {
+			t.Errorf("%s: invalid plan on x8 config: %v", name, err)
+		}
+	}
+}
