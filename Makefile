@@ -1,0 +1,22 @@
+# Developer conveniences; CI runs the same targets.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-budget fuzz smoke: each target gets $(FUZZTIME) of coverage-guided
+# input generation on top of its seed corpus. Catches parser and codec
+# regressions that fixed test vectors miss, cheap enough for every CI run.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzFlipCoding -fuzztime=$(FUZZTIME) ./internal/bitutil
+	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace

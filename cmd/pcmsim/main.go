@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"tetriswrite/internal/fault"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
@@ -65,9 +66,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		subarrays = fs.Int("subarrays", 1, "subarrays per bank (reads overlap writes when > 1)")
 		pausing   = fs.Bool("pausing", false, "let reads pause in-flight writes")
 		traceFile = fs.String("trace", "", "replay operations from this trace file")
+
+		faultSeed  = fs.Int64("fault-seed", 0, "seed for the deterministic fault injector (default: workload seed)")
+		endurance  = fs.Int64("endurance", 0, "mean per-cell endurance in pulses; 0 disables wear-out")
+		endurCV    = fs.Float64("endurance-cv", 0, "coefficient of variation of per-cell endurance (needs -endurance)")
+		transient  = fs.Float64("transient-rate", 0, "per-pulse transient write-failure probability in [0,1)")
+		verifyN    = fs.Int("verify-retries", 0, "re-pulse budget before a failed write escalates to a hard error (default 3)")
+		spareLines = fs.Int("spare", 0, "lines reserved as spares for hard-error remapping (default 64 when faults are on)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Reject nonsense before it turns into a confusing simulation.
+	switch {
+	case *instr <= 0:
+		return fmt.Errorf("-instr %d: instruction budget must be positive", *instr)
+	case *coresN <= 0:
+		return fmt.Errorf("-cores %d: need at least one core", *coresN)
+	case *budget <= 0:
+		return fmt.Errorf("-budget %d: power budget must be positive", *budget)
+	case *banks <= 0:
+		return fmt.Errorf("-banks %d: need at least one bank", *banks)
+	case *subarrays <= 0:
+		return fmt.Errorf("-subarrays %d: need at least one subarray", *subarrays)
+	case *verifyN < 0:
+		return fmt.Errorf("-verify-retries %d: retry budget cannot be negative", *verifyN)
+	case *spareLines < 0:
+		return fmt.Errorf("-spare %d: spare line count cannot be negative", *spareLines)
 	}
 
 	factory, ok := factories[*scheme]
@@ -87,19 +113,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := par.Validate(); err != nil {
 		return fmt.Errorf("invalid configuration: %w", err)
 	}
-	ctrlCfg := memctrl.Config{Subarrays: *subarrays, WritePausing: *pausing}
+	ctrlCfg := memctrl.Config{Subarrays: *subarrays, WritePausing: *pausing, VerifyRetries: *verifyN}
+
+	fcfg := fault.Config{
+		Seed:          *faultSeed,
+		Endurance:     *endurance,
+		EnduranceCV:   *endurCV,
+		TransientRate: *transient,
+	}
+	if fcfg.Seed == 0 {
+		fcfg.Seed = *seed
+	}
+	if err := fcfg.Validate(); err != nil {
+		return err
+	}
+	if !fcfg.Enabled() {
+		// Flags that only matter under faults are a likely mistake when no
+		// failure mode is configured; say so instead of silently ignoring.
+		var orphans []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "fault-seed", "endurance-cv", "verify-retries", "spare":
+				orphans = append(orphans, "-"+f.Name)
+			}
+		})
+		if len(orphans) > 0 {
+			return fmt.Errorf("%s set but no failure mode enabled; add -endurance or -transient-rate",
+				strings.Join(orphans, ", "))
+		}
+	}
+
+	sysCfg := system.Config{
+		Params:      par,
+		Cores:       *coresN,
+		InstrBudget: *instr,
+		Seed:        *seed,
+		Ctrl:        ctrlCfg,
+		Fault:       fcfg,
+		SpareLines:  *spareLines,
+	}
 
 	var res system.Result
 	if *traceFile != "" {
-		res, err = replayTraceFile(*traceFile, prof.Name, factory, par, ctrlCfg, *instr)
+		res, err = replayTraceFile(*traceFile, prof.Name, factory, sysCfg)
 	} else {
-		res, err = system.Run(prof, factory, system.Config{
-			Params:      par,
-			Cores:       *coresN,
-			InstrBudget: *instr,
-			Seed:        *seed,
-			Ctrl:        ctrlCfg,
-		})
+		res, err = system.Run(prof, factory, sysCfg)
 	}
 	if err != nil {
 		return err
@@ -109,7 +167,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // replayTraceFile loads a trace file and replays it through the platform.
-func replayTraceFile(path, label string, factory schemes.Factory, par pcm.Params, ctrlCfg memctrl.Config, instr int64) (system.Result, error) {
+func replayTraceFile(path, label string, factory schemes.Factory, cfg system.Config) (system.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return system.Result{}, err
@@ -123,11 +181,8 @@ func replayTraceFile(path, label string, factory schemes.Factory, par pcm.Params
 	if err != nil {
 		return system.Result{}, err
 	}
-	return system.RunTrace(label, recs, int(r.Header().Cores), factory, system.Config{
-		Params:      par,
-		InstrBudget: instr,
-		Ctrl:        ctrlCfg,
-	})
+	cfg.Cores = 0 // the trace header, not the flag, decides the core count
+	return system.RunTrace(label, recs, int(r.Header().Cores), factory, cfg)
 }
 
 func printResult(w io.Writer, res system.Result, par pcm.Params) {
@@ -146,6 +201,17 @@ func printResult(w io.Writer, res system.Result, par pcm.Params) {
 	if res.Ctrl.Pauses > 0 || res.Ctrl.SubarrayOverlaps > 0 {
 		fmt.Fprintf(w, "overlap        %d pauses, %d subarray overlaps\n",
 			res.Ctrl.Pauses, res.Ctrl.SubarrayOverlaps)
+	}
+	if res.Fault != nil {
+		fmt.Fprintf(w, "faults         %d verifies, %d retries, %d transient failures\n",
+			res.Ctrl.Verifies, res.Ctrl.Retries, res.Fault.TransientFailures)
+		fmt.Fprintf(w, "wear-out       %d stuck cells, %d hard errors\n",
+			res.Fault.StuckCells, res.Ctrl.HardErrors)
+		if res.Spare != nil {
+			fmt.Fprintf(w, "sparing        %d lines remapped, %d spares left, %d exhausted\n",
+				res.Spare.RemappedLines, res.Spare.SparesLeft, res.Spare.Exhausted)
+		}
+		fmt.Fprintf(w, "verify time    %v total bank time\n", res.Ctrl.VerifyOverhead)
 	}
 }
 

@@ -32,11 +32,63 @@ func TestRunFlagsValidation(t *testing.T) {
 		{"-workload", "bogus"},
 		{"-line", "60"}, // not a multiple of the write unit
 		{"-badflag"},
+		{"-instr", "0"},
+		{"-instr", "-5"},
+		{"-cores", "0"},
+		{"-budget", "-1"},
+		{"-banks", "0"},
+		{"-subarrays", "-2"},
+		{"-verify-retries", "-1"},
+		{"-spare", "-8"},
+		{"-endurance-cv", "-0.5"},            // negative CV
+		{"-transient-rate", "1.5"},           // outside [0,1)
+		{"-endurance-cv", "0.2"},             // CV without -endurance
+		{"-fault-seed", "7"},                 // fault knob, no failure mode
+		{"-verify-retries", "5"},             // ditto
+		{"-spare", "32"},                     // ditto
+		{"-fault-seed", "7", "-spare", "32"}, // several orphans at once
 	}
 	for _, args := range cases {
 		if err := run(args, &out, &errb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+	// The orphan message names the offending flags.
+	err := run([]string{"-fault-seed", "7", "-spare", "32"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "-fault-seed") || !strings.Contains(err.Error(), "-spare") {
+		t.Errorf("orphan fault flags error unhelpful: %v", err)
+	}
+}
+
+// The fault flags thread through to the platform: a faulty run prints
+// the recovery counters, and the same -fault-seed reproduces them.
+func TestRunWithFaultFlags(t *testing.T) {
+	args := []string{"-workload", "vips", "-scheme", "dcw", "-instr", "40000",
+		"-endurance", "3", "-endurance-cv", "0.25", "-transient-rate", "0.002",
+		"-fault-seed", "7", "-verify-retries", "4", "-spare", "32"}
+	var out1, out2, errb bytes.Buffer
+	if err := run(args, &out1, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	for _, want := range []string{"faults", "wear-out", "sparing", "verify time"} {
+		if !strings.Contains(out1.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out1.String())
+		}
+	}
+	if err := run(args, &out2, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("same -fault-seed produced different output:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	// A transient-only run needs no -endurance and still verifies.
+	var out3 bytes.Buffer
+	if err := run([]string{"-workload", "vips", "-instr", "30000",
+		"-transient-rate", "0.01"}, &out3, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3.String(), "faults") {
+		t.Errorf("transient-only run missing fault stats:\n%s", out3.String())
 	}
 }
 

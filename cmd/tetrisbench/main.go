@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		energy = fs.Bool("energy", false, "also print the energy-per-write table with the full-system figures")
 		sweep  = fs.String("sweep", "", "extra sweep beyond the paper: 'line' (64/128/256 B) or 'budget' (32..4)")
 		endur  = fs.Bool("endurance", false, "also run the endurance (wear leveling) table")
+		faults = fs.Bool("faults", false, "also run the fault-tolerance (verify-retry + line sparing) table")
 		check  = fs.Bool("check", false, "verify the paper's qualitative claims and print a reproduction certificate")
 		plot   = fs.Bool("plot", false, "render figures as bar charts instead of tables")
 		tail   = fs.Bool("tail", false, "also print the P99 read latency table with the full-system figures")
@@ -102,9 +103,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		printMLC(stdout, opt)
 	}
 
-	if !*all && *fig == 0 && *table == 0 && *sweep == "" && !*endur && *seeds == 0 && !*mlcCmp {
+	if !*all && *fig == 0 && *table == 0 && *sweep == "" && !*endur && !*faults && *seeds == 0 && !*mlcCmp {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -all, -fig N, -table N, -sweep, -endurance or -seeds")
+		return fmt.Errorf("nothing to do: pass -all, -fig N, -table N, -sweep, -endurance, -faults or -seeds")
 	}
 
 	needFull := *all || (*fig >= 11 && *fig <= 14)
@@ -191,6 +192,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *endur || *all {
 		tb, err := exp.EnduranceTable(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, tb)
+	}
+	if *faults || *all {
+		tb, err := exp.FaultToleranceTable(opt)
 		if err != nil {
 			return err
 		}

@@ -330,3 +330,43 @@ func TestSeedSpread(t *testing.T) {
 		t.Errorf("tetris min (%v) does not dominate fnw max (%v): ordering unstable", tet[1], rows["fnw"][2])
 	}
 }
+
+func TestFaultToleranceTable(t *testing.T) {
+	opt := fastOptions()
+	opt.InstrBudget = 120_000
+	tb, err := FaultToleranceTable(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseRows(tb.String())
+	base := rows["baseline"]
+	tet := rows["tetris"]
+	if base == nil || tet == nil {
+		t.Fatalf("missing rows:\n%s", tb.String())
+	}
+	// Columns: writes, retries, transient, stuck-cells, hard-errors,
+	// remapped, verify-ns/write.
+	if base[3] == 0 {
+		t.Errorf("baseline suffered no stuck cells; the table's endurance is tuned to provoke them:\n%s", tb)
+	}
+	// Stuck counts are array-level (writes are differential for every
+	// scheme at the device), so schemes should land in the same ballpark.
+	if tet[3] > 2*base[3] || base[3] > 2*tet[3] {
+		t.Errorf("tetris stuck cells %v far from baseline %v:\n%s", tet[3], base[3], tb)
+	}
+	if base[1] == 0 || base[4] == 0 || base[5] == 0 {
+		t.Errorf("recovery ladder inactive (retries/hard-errors/remaps):\n%s", tb)
+	}
+	// Verify overhead is charged per write.
+	if base[6] <= 0 {
+		t.Errorf("verify-ns/write not positive:\n%s", tb)
+	}
+	// Determinism: the same options reproduce the same table.
+	tb2, err := FaultToleranceTable(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.String() != tb2.String() {
+		t.Errorf("fault-tolerance table not deterministic:\n%s\nvs\n%s", tb, tb2)
+	}
+}

@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/units"
+)
+
+// fakeMem is a scriptable downstream port: it accepts writes while
+// capacity lasts, records them, and wakes space waiters on demand.
+type fakeMem struct {
+	capacity int // writes accepted before rejecting; negative = unlimited
+	writes   []struct {
+		addr pcm.LineAddr
+		data []byte
+	}
+	reads   []pcm.LineAddr
+	waiters []func()
+	store   map[pcm.LineAddr][]byte
+}
+
+func newFakeMem(capacity int) *fakeMem {
+	return &fakeMem{capacity: capacity, store: make(map[pcm.LineAddr][]byte)}
+}
+
+func (m *fakeMem) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool {
+	m.reads = append(m.reads, addr)
+	onDone(0, append([]byte(nil), m.store[addr]...))
+	return true
+}
+
+func (m *fakeMem) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at units.Time)) bool {
+	if m.capacity == 0 {
+		return false
+	}
+	if m.capacity > 0 {
+		m.capacity--
+	}
+	cp := append([]byte(nil), data...)
+	m.writes = append(m.writes, struct {
+		addr pcm.LineAddr
+		data []byte
+	}{addr, cp})
+	m.store[addr] = cp
+	if onDone != nil {
+		onDone(0)
+	}
+	return true
+}
+
+func (m *fakeMem) WhenWriteSpace(fn func()) { m.waiters = append(m.waiters, fn) }
+
+func (m *fakeMem) wake() {
+	ws := m.waiters
+	m.waiters = nil
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+func TestSpareRemapHardError(t *testing.T) {
+	mem := newFakeMem(-1)
+	s, err := NewSpareRemapper(mem, 100, 4, func(addr pcm.LineAddr, dst []byte) {
+		copy(dst, mem.store[addr])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := line(0xAB)
+	s.OnHardError(7, want)
+	if !s.Remapped(7) {
+		t.Fatal("line 7 not remapped after hard error")
+	}
+	if got := s.Translate(7); got != 100 {
+		t.Errorf("Translate(7) = %d, want spare slot 100", got)
+	}
+	if len(mem.writes) != 1 || mem.writes[0].addr != 100 || !bytes.Equal(mem.writes[0].data, want) {
+		t.Errorf("repair write wrong: %+v", mem.writes)
+	}
+	// Reads and writes to the dead line land on the spare.
+	var got []byte
+	s.SubmitRead(7, func(_ units.Time, data []byte) { got = data })
+	if !bytes.Equal(got, want) {
+		t.Errorf("read after remap = %x, want %x", got[:4], want[:4])
+	}
+	s.SubmitWrite(7, line(0xCD), nil)
+	if mem.writes[len(mem.writes)-1].addr != 100 {
+		t.Error("write to dead line not redirected to its spare")
+	}
+	st := s.Stats()
+	if st.RemappedLines != 1 || st.RepairWrites != 1 || st.SparesLeft != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// A spare slot that itself dies chains to a fresh spare.
+func TestSpareChaining(t *testing.T) {
+	mem := newFakeMem(-1)
+	s, _ := NewSpareRemapper(mem, 100, 2, nil)
+	s.OnHardError(7, line(1))
+	s.OnHardError(100, line(2)) // the spare died too
+	if got := s.Translate(7); got != 101 {
+		t.Errorf("Translate(7) = %d, want chained spare 101", got)
+	}
+}
+
+// With no spares left, hard errors degrade gracefully: counted, not
+// remapped, no crash.
+func TestSpareExhaustion(t *testing.T) {
+	mem := newFakeMem(-1)
+	s, _ := NewSpareRemapper(mem, 100, 1, nil)
+	s.OnHardError(7, line(1))
+	s.OnHardError(8, line(2))
+	st := s.Stats()
+	if st.RemappedLines != 1 || st.Exhausted != 1 || st.SparesLeft != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.Remapped(8) {
+		t.Error("line 8 remapped with no spare available")
+	}
+}
+
+// A hard error on a line whose remap already exists (a raced older
+// write) re-issues to the existing spare instead of burning another.
+func TestSpareHardErrorRace(t *testing.T) {
+	mem := newFakeMem(-1)
+	s, _ := NewSpareRemapper(mem, 100, 4, nil)
+	s.OnHardError(7, line(1))
+	s.OnHardError(7, line(3))
+	st := s.Stats()
+	if st.RemappedLines != 1 || st.SparesLeft != 3 {
+		t.Errorf("second hard error burned a spare: %+v", st)
+	}
+	if st.RepairWrites != 2 {
+		t.Errorf("RepairWrites = %d, want 2", st.RepairWrites)
+	}
+	if mem.writes[len(mem.writes)-1].addr != 100 {
+		t.Error("re-issued repair not directed at the existing spare")
+	}
+}
+
+// Repair writes that hit a full write queue buffer, serve reads from the
+// pending data, and drain when space frees — the wearlevel.Remapper
+// backpressure contract.
+func TestSpareRepairBackpressure(t *testing.T) {
+	mem := newFakeMem(0) // reject everything
+	s, _ := NewSpareRemapper(mem, 100, 4, nil)
+	want := line(0xEE)
+	s.OnHardError(7, want)
+	if len(mem.writes) != 0 {
+		t.Fatal("write accepted by a full queue")
+	}
+	if len(mem.waiters) != 1 {
+		t.Fatalf("%d space waiters registered, want 1", len(mem.waiters))
+	}
+	// A second hard error while blocked must not double-register.
+	s.OnHardError(8, line(0xDD))
+	if len(mem.waiters) != 1 {
+		t.Fatalf("%d space waiters after second error, want 1 (retrying flag)", len(mem.waiters))
+	}
+	// Reads against the pending repair serve its data.
+	var got []byte
+	s.SubmitRead(7, func(_ units.Time, data []byte) { got = data })
+	if !bytes.Equal(got, want) {
+		t.Errorf("read during pending repair = %x, want %x", got[:4], want[:4])
+	}
+	snap := make([]byte, 64)
+	s.Snoop(7, snap)
+	if !bytes.Equal(snap, want) {
+		t.Error("Snoop during pending repair missed the pending data")
+	}
+	// Space frees: both repairs drain, in address order.
+	mem.capacity = -1
+	mem.wake()
+	if len(mem.writes) != 2 {
+		t.Fatalf("%d repairs drained, want 2", len(mem.writes))
+	}
+	if mem.writes[0].addr != 100 || mem.writes[1].addr != 101 {
+		t.Errorf("drain order %d,%d, want 100,101", mem.writes[0].addr, mem.writes[1].addr)
+	}
+}

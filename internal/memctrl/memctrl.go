@@ -72,6 +72,17 @@ type Config struct {
 	// driver and its subarray's sense path are tied up. 1 (the default)
 	// is the paper's monolithic bank; writes always need the whole bank.
 	Subarrays int
+	// VerifyWrites enables iterative program-and-verify: after a write's
+	// pulses complete, the controller reads the line back (TRead, charged
+	// to the bank), compares against the intended data, and re-pulses
+	// only the mismatched cells — DCW-style, so retries are cheap — up to
+	// VerifyRetries times before escalating to a hard error. Off by
+	// default: the ideal device never miswrites, and verify would only
+	// add overhead. Enable together with a pcm.FaultModel on the device.
+	VerifyWrites bool
+	// VerifyRetries is the per-write retry budget of the verify loop
+	// (default 3, the typical iterative-write bound of PCM controllers).
+	VerifyRetries int
 }
 
 // Normalize fills defaults in place.
@@ -103,6 +114,9 @@ func (c *Config) Normalize(par pcm.Params) {
 	if c.Subarrays <= 0 {
 		c.Subarrays = 1
 	}
+	if c.VerifyRetries <= 0 {
+		c.VerifyRetries = 3
+	}
 }
 
 type request struct {
@@ -133,6 +147,14 @@ type Stats struct {
 	Presets          int64 // idle-time PreSET operations executed
 	PresetDropped    int64 // hints dropped (queue full or stale)
 	SubarrayOverlaps int64 // reads serviced while a write held the bank
+
+	// Write-verify activity (all zero unless Config.VerifyWrites).
+	Verifies       int64          // verify read-backs performed
+	Retries        int64          // re-pulse rounds after a failed verify
+	RetrySets      int64          // SET pulses driven by retries
+	RetryResets    int64          // RESET pulses driven by retries
+	HardErrors     int64          // writes that never verified within budget
+	VerifyOverhead units.Duration // bank time spent on verify reads and retry pulses
 }
 
 // Controller is the memory controller plus its banks. It is driven
@@ -163,10 +185,24 @@ type Controller struct {
 	// line write — the endurance-relevant quantity (redundant pulses of
 	// non-comparing schemes wear cells even when the value is unchanged).
 	wear *pcm.WearTracker
+
+	// onHardError, when set, receives every write the verify loop gave
+	// up on: the physical line and the data that should have landed. The
+	// spare remapper (fault.SpareRemapper) registers here to redirect the
+	// line; without a handler hard errors are only counted.
+	onHardError func(addr pcm.LineAddr, want []byte)
 }
 
 // SetWearTracker attaches per-line pulse accounting.
 func (c *Controller) SetWearTracker(w *pcm.WearTracker) { c.wear = w }
+
+// SetHardErrorHandler registers the escalation callback of the verify
+// loop. The handler runs in the engine goroutine, before the failed
+// write's own completion callback, so redirects it installs are visible
+// to whatever that callback submits next.
+func (c *Controller) SetHardErrorHandler(fn func(addr pcm.LineAddr, want []byte)) {
+	c.onHardError = fn
+}
 
 type bank struct {
 	scheme schemes.Scheme
@@ -183,6 +219,10 @@ type bank struct {
 	writeStart units.Time
 	writeEnd   units.Time
 	pausing    bool
+	// verifying marks the program-and-verify tail of a write: the bank
+	// is still held by the write but its pulses are done, so pausing (a
+	// pulse-boundary mechanism) no longer applies.
+	verifying bool
 	// busyTime accumulates array occupancy for the utilization report.
 	busyTime units.Duration
 }
@@ -473,16 +513,112 @@ func (c *Controller) scheduleWriteCompletion(b *bank, req *request) {
 			return
 		}
 		c.dev.WriteLine(req.addr, req.data)
-		b.write = nil
-		b.gen++ // invalidate any in-flight pause boundary events
-		c.finish(req, end)
+		if c.cfg.VerifyWrites {
+			// The array may not hold what was driven (stuck cells,
+			// transient failures): enter the program-and-verify tail
+			// before releasing the bank.
+			c.startVerify(b, req, 0)
+			return
+		}
+		c.completeWrite(b, req, end)
 	})
+}
+
+// completeWrite releases the bank and finishes the write request.
+func (c *Controller) completeWrite(b *bank, req *request, at units.Time) {
+	b.write = nil
+	b.verifying = false
+	b.gen++ // invalidate any in-flight pause boundary events
+	c.finish(req, at)
+}
+
+// startVerify runs one iteration of the program-and-verify loop: a
+// read-back (TRead) compares the array against the intended data; if
+// cells mismatch, exactly those cells are re-pulsed (the device's
+// differential write drives only changed bits, so a retry under DCW-style
+// schemes costs one short pulse wave, not a full rewrite) and the verify
+// repeats, up to the configured budget. A write that never verifies
+// escalates to a hard error for the sparing layer to absorb.
+func (c *Controller) startVerify(b *bank, req *request, attempt int) {
+	b.verifying = true
+	c.stats.Verifies++
+	c.stats.VerifyOverhead += c.par.TRead
+	b.busyTime += c.par.TRead
+	done := c.eng.Now().Add(c.par.TRead)
+	gen := b.gen
+	c.eng.At(done, func() {
+		if b.gen != gen || b.write != req {
+			return
+		}
+		got := make([]byte, c.par.LineBytes)
+		c.dev.PeekLine(req.addr, got)
+		sets, resets := mismatchCounts(got, req.data)
+		if sets == 0 && resets == 0 {
+			c.completeWrite(b, req, done)
+			return
+		}
+		if attempt >= c.cfg.VerifyRetries {
+			c.stats.HardErrors++
+			// Escalate before completing: the sparing layer installs its
+			// redirect first, so anything the completion callback submits
+			// already sees the remapped line.
+			if c.onHardError != nil {
+				c.onHardError(req.addr, req.data)
+			}
+			c.completeWrite(b, req, done)
+			return
+		}
+		// Re-pulse only the mismatched cells: WriteLine diffs against
+		// the stored image, so exactly those bits are driven again. The
+		// wave costs TSet if any cell needs setting (SETs dominate the
+		// wave, the PCM time asymmetry), else TReset — and real energy
+		// and wear, charged like first-attempt pulses.
+		c.stats.Retries++
+		c.stats.RetrySets += int64(sets)
+		c.stats.RetryResets += int64(resets)
+		c.stats.BitSets += int64(sets)
+		c.stats.BitResets += int64(resets)
+		if c.wear != nil {
+			c.wear.Record(req.addr, sets+resets)
+		}
+		pulse := c.par.TReset
+		if sets > 0 {
+			pulse = c.par.TSet
+		}
+		c.stats.VerifyOverhead += pulse
+		b.busyTime += pulse
+		pulsed := done.Add(pulse)
+		c.eng.At(pulsed, func() {
+			if b.gen != gen || b.write != req {
+				return
+			}
+			c.dev.WriteLine(req.addr, req.data)
+			c.startVerify(b, req, attempt+1)
+		})
+	})
+}
+
+// mismatchCounts counts the cells where got differs from want, split by
+// the direction a corrective pulse must drive (set: 0->1, reset: 1->0).
+func mismatchCounts(got, want []byte) (sets, resets int) {
+	for i := range got {
+		diff := got[i] ^ want[i]
+		setMask := diff & want[i]
+		resetMask := diff & got[i]
+		for m := setMask; m != 0; m &= m - 1 {
+			sets++
+		}
+		for m := resetMask; m != 0; m &= m - 1 {
+			resets++
+		}
+	}
+	return sets, resets
 }
 
 // tryPause interrupts the bank's in-flight write for the oldest read
 // targeting it, if write pausing is enabled and worthwhile.
 func (c *Controller) tryPause(b *bank) {
-	if !c.cfg.WritePausing || b.pausing || b.write == nil {
+	if !c.cfg.WritePausing || b.pausing || b.write == nil || b.verifying {
 		return
 	}
 	if !c.hasBlockedReadFor(b) {

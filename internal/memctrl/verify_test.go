@@ -1,0 +1,195 @@
+package memctrl
+
+import (
+	"bytes"
+	"testing"
+
+	"tetriswrite/internal/fault"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/units"
+)
+
+func fullLine(b byte) []byte {
+	l := make([]byte, 64)
+	for i := range l {
+		l[i] = b
+	}
+	return l
+}
+
+// Without a fault model, enabling verify only adds the read-back: every
+// write verifies on the first pass, no retries, no hard errors.
+func TestVerifyCleanDevice(t *testing.T) {
+	eng := &sim.Engine{}
+	dev := pcm.MustNewDevice(pcm.DefaultParams())
+	c := New(eng, dev, schemes.NewDCW, Config{VerifyWrites: true, OpportunisticWrites: true})
+	done := false
+	eng.At(0, func() {
+		c.SubmitWrite(8, fullLine(0xFF), func(units.Time) { done = true })
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	st := c.Stats()
+	if st.Verifies != 1 || st.Retries != 0 || st.HardErrors != 0 {
+		t.Errorf("verifies/retries/hard = %d/%d/%d, want 1/0/0", st.Verifies, st.Retries, st.HardErrors)
+	}
+	if st.VerifyOverhead != pcm.DefaultParams().TRead {
+		t.Errorf("VerifyOverhead = %v, want one TRead", st.VerifyOverhead)
+	}
+}
+
+// Transient pulse failures are caught by verify and fixed by re-pulsing
+// only the failed cells; the retry pulses cost time, energy and wear.
+func TestVerifyRetriesTransient(t *testing.T) {
+	eng := &sim.Engine{}
+	dev := pcm.MustNewDevice(pcm.DefaultParams())
+	inj := fault.MustNew(fault.Config{Seed: 3, TransientRate: 0.2})
+	dev.AttachFaults(inj)
+	c := New(eng, dev, schemes.NewDCW, Config{
+		VerifyWrites: true, VerifyRetries: 10, OpportunisticWrites: true,
+	})
+	c.SetHardErrorHandler(func(addr pcm.LineAddr, want []byte) {
+		t.Errorf("hard error on %d despite transient-only faults", addr)
+	})
+	completions := 0
+	eng.At(0, func() {
+		var next func(i int)
+		next = func(i int) {
+			if i >= 8 {
+				return
+			}
+			pattern := byte(0x55)
+			if i%2 == 1 {
+				pattern = 0xAA
+			}
+			c.SubmitWrite(8, fullLine(pattern), func(units.Time) {
+				completions++
+				next(i + 1)
+			})
+		}
+		next(0)
+	})
+	eng.Run()
+	if completions != 8 {
+		t.Fatalf("%d completions, want 8", completions)
+	}
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Error("no retries at a 20% transient failure rate")
+	}
+	if st.RetrySets+st.RetryResets == 0 {
+		t.Error("retries drove no pulses")
+	}
+	got := make([]byte, 64)
+	dev.PeekLine(8, got)
+	if !bytes.Equal(got, fullLine(0xAA)) {
+		t.Errorf("final image %x, want all AA (verify-retry must converge)", got[:4])
+	}
+}
+
+// The acceptance scenario: a worn cell sticks, verify detects the
+// mismatch, the budgeted retries fail (the cell is dead), the write
+// escalates to a hard error, the sparing layer remaps the line, and
+// reads return correct data afterwards.
+func TestStuckCellEscalatesToSpareRemap(t *testing.T) {
+	eng := &sim.Engine{}
+	par := pcm.DefaultParams()
+	dev := pcm.MustNewDevice(par)
+	inj := fault.MustNew(fault.Config{Seed: 1, Endurance: 1}) // every cell dies on its 2nd pulse
+	dev.AttachFaults(inj)
+	c := New(eng, dev, schemes.NewDCW, Config{
+		VerifyWrites: true, VerifyRetries: 2, OpportunisticWrites: true,
+	})
+	spareBase := pcm.LineAddr(par.Lines() - 16)
+	spare, err := fault.NewSpareRemapper(c, spareBase, 16, c.Snoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetHardErrorHandler(spare.OnHardError)
+
+	addr := pcm.LineAddr(8)
+	var readBack []byte
+	eng.At(0, func() {
+		// First write: fresh cells, programs fine (pulse 1).
+		spare.SubmitWrite(addr, fullLine(0xFF), func(units.Time) {
+			// Second write: pulse 2 exceeds every cell's limit of 1; all
+			// cells stick at 1 and the write can never verify.
+			spare.SubmitWrite(addr, fullLine(0x00), func(units.Time) {
+				// The hard-error handler runs before this completion
+				// callback, so the remap is already installed: this read
+				// translates to the spare slot.
+				spare.SubmitRead(addr, func(_ units.Time, data []byte) {
+					readBack = data
+				})
+			})
+		})
+	})
+	eng.Run()
+
+	st := c.Stats()
+	if st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2 (the full budget)", st.Retries)
+	}
+	if st.HardErrors != 1 {
+		t.Errorf("HardErrors = %d, want 1", st.HardErrors)
+	}
+	ss := spare.Stats()
+	if ss.RemappedLines != 1 || ss.RepairWrites != 1 {
+		t.Errorf("spare stats = %+v, want one remap + one repair", ss)
+	}
+	if !spare.Remapped(addr) {
+		t.Fatal("failed line not remapped")
+	}
+	if got := spare.Translate(addr); got != spareBase {
+		t.Errorf("Translate(%d) = %d, want %d", addr, got, spareBase)
+	}
+	if readBack == nil {
+		t.Fatal("read after remap never completed")
+	}
+	if !bytes.Equal(readBack, fullLine(0x00)) {
+		t.Errorf("read after remap = %x, want the intended all-00 data", readBack[:4])
+	}
+	// The dead physical line still holds the stuck image.
+	raw := make([]byte, 64)
+	dev.PeekLine(addr, raw)
+	if !bytes.Equal(raw, fullLine(0xFF)) {
+		t.Errorf("dead line image = %x, want stuck all-FF", raw[:4])
+	}
+}
+
+// Verify-retry composes with write pausing: a read arriving during the
+// verify tail must not tear the write state (the pause boundary check
+// and the verifying flag both protect it).
+func TestVerifyWithPausingDoesNotTear(t *testing.T) {
+	eng := &sim.Engine{}
+	dev := pcm.MustNewDevice(pcm.DefaultParams())
+	inj := fault.MustNew(fault.Config{Seed: 5, TransientRate: 0.3})
+	dev.AttachFaults(inj)
+	c := New(eng, dev, schemes.NewDCW, Config{
+		VerifyWrites: true, VerifyRetries: 8,
+		OpportunisticWrites: true, WritePausing: true,
+	})
+	writesDone, readsDone := 0, 0
+	eng.At(0, func() {
+		c.SubmitWrite(8, fullLine(0x0F), func(units.Time) { writesDone++ })
+	})
+	// Reads to the same bank land during pulses and verify tails.
+	for i := 1; i <= 5; i++ {
+		eng.At(units.Time(i)*units.Time(60*units.Nanosecond), func() {
+			c.SubmitRead(16, func(units.Time, []byte) { readsDone++ })
+		})
+	}
+	eng.Run()
+	if writesDone != 1 || readsDone != 5 {
+		t.Fatalf("writes=%d reads=%d, want 1/5", writesDone, readsDone)
+	}
+	got := make([]byte, 64)
+	dev.PeekLine(8, got)
+	if !bytes.Equal(got, fullLine(0x0F)) {
+		t.Errorf("image %x after paused verify, want all 0F", got[:4])
+	}
+}

@@ -9,6 +9,18 @@ import (
 // space: the byte address divided by the line size.
 type LineAddr int64
 
+// FaultModel intercepts the array's cell-level behaviour: writes land
+// through it (so stuck or transiently failed cells keep their old
+// values) and reads observe stuck bits. internal/fault provides the
+// deterministic implementation; a nil model is the ideal device.
+type FaultModel interface {
+	// ApplyWrite mutates want in place to the image that actually lands
+	// when programming a line whose stored contents are old.
+	ApplyWrite(addr LineAddr, old, want []byte)
+	// ApplyRead forces stuck cells to their stuck values in data.
+	ApplyRead(addr LineAddr, data []byte)
+}
+
 // Device is the stateful PCM array: the stored contents of every line plus
 // energy and wear accounting. Contents are stored sparsely; untouched
 // lines read as all zeros, matching a freshly RESET array.
@@ -23,6 +35,7 @@ type Device struct {
 	lines map[LineAddr][]byte
 	stats DeviceStats
 	wear  *WearTracker // optional per-line wear accounting
+	fault FaultModel   // optional cell-failure model (nil = ideal device)
 }
 
 // DeviceStats aggregates programming activity on a device. All counters
@@ -84,6 +97,9 @@ func (d *Device) ReadLine(addr LineAddr, dst []byte) {
 			dst[i] = 0
 		}
 	}
+	if d.fault != nil {
+		d.fault.ApplyRead(addr, dst)
+	}
 }
 
 // PeekLine is ReadLine without the statistics side effect, for checkers
@@ -102,12 +118,21 @@ func (d *Device) PeekLine(addr LineAddr, dst []byte) {
 			dst[i] = 0
 		}
 	}
+	if d.fault != nil {
+		d.fault.ApplyRead(addr, dst)
+	}
 }
 
 // WriteLine stores data at addr and accounts for the pulses a
 // content-aware write driver would emit: only cells whose value changes
 // are counted as SET or RESET pulses, the rest are skipped (the paper's
 // PROG-enable gating). It returns the number of SET and RESET pulses.
+//
+// With a fault model attached, the counted pulses are the ones the
+// driver *attempts* (they cost time, energy and wear whether or not the
+// cell switches) but the stored image is what the model lets land: stuck
+// cells keep their stuck values and transiently failed pulses leave the
+// old bit in place, for verify-retry to catch.
 //
 // WriteLine models only the array state and energy; service *time* is the
 // business of the write schemes, which call this after planning.
@@ -130,7 +155,12 @@ func (d *Device) WriteLine(addr LineAddr, data []byte) (sets, resets int) {
 		sets += popcount8(setMask)
 		resets += popcount8(resetMask)
 	}
-	copy(stored, data)
+	landed := data
+	if d.fault != nil {
+		landed = append([]byte(nil), data...)
+		d.fault.ApplyWrite(addr, stored, landed)
+	}
+	copy(stored, landed)
 	d.stats.LineWrites++
 	d.stats.BitSets += int64(sets)
 	d.stats.BitResets += int64(resets)
@@ -148,6 +178,15 @@ func (d *Device) AttachWear(w *WearTracker) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.wear = w
+}
+
+// AttachFaults installs a cell-failure model on the device's read and
+// write paths. Pass nil to restore the ideal device. Attach before the
+// first write: the model sees only transitions that happen after it.
+func (d *Device) AttachFaults(f FaultModel) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = f
 }
 
 func popcount8(b byte) int {

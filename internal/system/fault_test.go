@@ -1,0 +1,172 @@
+package system
+
+import (
+	"testing"
+
+	"tetriswrite/internal/fault"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/workload"
+)
+
+// faultProfile concentrates writes on a tiny working set so cells wear
+// out within a small instruction budget.
+func faultProfile(t *testing.T) workload.Profile {
+	t.Helper()
+	prof, err := workload.ProfileByName("vips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.PrivateLines = 8
+	prof.SharedLines = 8
+	return prof
+}
+
+func faultConfig() Config {
+	return Config{
+		InstrBudget: 80_000,
+		Cores:       2,
+		Seed:        1,
+		Fault: fault.Config{
+			// Absurdly low endurance (real PCM: ~10^8) so wear-out
+			// happens within a test-sized write budget.
+			Seed:          7,
+			Endurance:     3,
+			EnduranceCV:   0.25,
+			TransientRate: 0.002,
+		},
+		SpareLines: 32,
+	}
+}
+
+// A fault-enabled run exercises the whole recovery ladder: verifies,
+// retries, wear-out stuck cells, hard errors and spare remaps — and
+// finishes with correct results despite them.
+func TestRunWithFaultsRecovers(t *testing.T) {
+	res, err := Run(faultProfile(t), schemes.NewDCW, faultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault == nil || res.Spare == nil {
+		t.Fatal("fault/spare stats missing from a fault-enabled run")
+	}
+	st := res.Ctrl
+	if st.Verifies == 0 {
+		t.Error("no verifies despite VerifyWrites being forced on")
+	}
+	if st.Retries == 0 {
+		t.Error("no retries; the fault config is meant to provoke failures")
+	}
+	if res.Fault.StuckCells == 0 {
+		t.Error("no cells wore out at endurance 3 on a 16-line working set")
+	}
+	if st.HardErrors == 0 {
+		t.Error("no hard errors escalated")
+	}
+	if res.Spare.RemappedLines == 0 {
+		t.Error("no lines remapped to spares")
+	}
+	// Every hard error either burned a spare, re-issued to an existing
+	// remap (a write queued to the dead line before its redirect), or
+	// found the spares exhausted.
+	if res.Spare.RemappedLines+res.Spare.Exhausted > st.HardErrors {
+		t.Errorf("remaps %d + exhausted %d exceed hard errors %d",
+			res.Spare.RemappedLines, res.Spare.Exhausted, st.HardErrors)
+	}
+	if res.Spare.RepairWrites < res.Spare.RemappedLines {
+		t.Errorf("repair writes %d < remapped lines %d", res.Spare.RepairWrites, res.Spare.RemappedLines)
+	}
+	if st.VerifyOverhead <= 0 {
+		t.Error("verify overhead not charged")
+	}
+}
+
+// Same fault seed, same everything: bit-identical failure history. This
+// is the determinism guarantee the docs promise.
+func TestRunWithFaultsDeterministic(t *testing.T) {
+	prof := faultProfile(t)
+	a, err := Run(prof, schemes.NewDCW, faultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(prof, schemes.NewDCW, faultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ctrl.Retries != b.Ctrl.Retries ||
+		a.Ctrl.HardErrors != b.Ctrl.HardErrors ||
+		a.Ctrl.Verifies != b.Ctrl.Verifies {
+		t.Errorf("controller counters differ: %+v vs %+v", a.Ctrl, b.Ctrl)
+	}
+	if *a.Fault != *b.Fault {
+		t.Errorf("injector stats differ: %+v vs %+v", *a.Fault, *b.Fault)
+	}
+	if *a.Spare != *b.Spare {
+		t.Errorf("spare stats differ: %+v vs %+v", *a.Spare, *b.Spare)
+	}
+	if a.RunningTime != b.RunningTime {
+		t.Errorf("running time differs: %v vs %v", a.RunningTime, b.RunningTime)
+	}
+	// A different fault seed fails differently.
+	cfg := faultConfig()
+	cfg.Fault.Seed = 8
+	c, err := Run(prof, schemes.NewDCW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a.Fault == *c.Fault && a.Ctrl.Retries == c.Ctrl.Retries {
+		t.Error("different fault seeds produced identical failure histories")
+	}
+}
+
+// With the fault model disabled (the default), results are bit-identical
+// to a config that never mentions faults: the fault path is opt-in.
+func TestFaultsDisabledIsIdentical(t *testing.T) {
+	prof, err := workload.ProfileByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{InstrBudget: 40_000, Cores: 2, Seed: 3}
+	a, err := Run(prof, schemes.NewDCW, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withZero := base
+	withZero.Fault = fault.Config{Seed: 99} // a seed alone enables nothing
+	withZero.SpareLines = 128
+	b, err := Run(prof, schemes.NewDCW, withZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RunningTime != b.RunningTime || a.IPC != b.IPC || a.Energy != b.Energy {
+		t.Errorf("zero-value fault config changed results: %v/%v vs %v/%v",
+			a.RunningTime, a.IPC, b.RunningTime, b.IPC)
+	}
+	if a.Ctrl.BitSets != b.Ctrl.BitSets || a.Ctrl.BitResets != b.Ctrl.BitResets ||
+		a.Ctrl.Writes != b.Ctrl.Writes || a.Ctrl.Drains != b.Ctrl.Drains {
+		t.Errorf("controller stats changed: %+v vs %+v", a.Ctrl, b.Ctrl)
+	}
+	if b.Fault != nil || b.Spare != nil {
+		t.Error("fault stats reported for a disabled model")
+	}
+	if a.Ctrl.Verifies != 0 {
+		t.Error("verify ran on an ideal device")
+	}
+}
+
+// Faults compose with Start-Gap wear leveling: the stack is
+// cpu -> startgap -> sparing -> controller, and a run with both finishes
+// with consistent counters.
+func TestFaultsComposeWithWearLeveling(t *testing.T) {
+	cfg := faultConfig()
+	cfg.WearLevelPsi = 50
+	res, err := Run(faultProfile(t), schemes.NewDCW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remap == nil || res.Remap.GapMoves == 0 {
+		t.Error("wear leveling inactive under faults")
+	}
+	if res.Fault == nil || res.Ctrl.Verifies == 0 {
+		t.Error("fault model inactive under wear leveling")
+	}
+}

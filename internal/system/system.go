@@ -12,6 +12,7 @@ import (
 
 	"tetriswrite/internal/cache"
 	"tetriswrite/internal/cpu"
+	"tetriswrite/internal/fault"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
@@ -46,6 +47,17 @@ type Config struct {
 	// TrackWear attaches per-line wear accounting even without wear
 	// leveling, so endurance experiments can compare the two.
 	TrackWear bool
+
+	// Fault configures the deterministic cell-failure model (wear-out
+	// stuck-at cells, transient pulse failures). The zero value leaves
+	// the device ideal and every path below bit-identical to a run
+	// without this field. Enabling any failure mode also turns on the
+	// controller's write-verify loop, and a spare region for hard-error
+	// line remapping is carved from the top of the device.
+	Fault fault.Config
+	// SpareLines sizes the hard-error spare region (default 64 when the
+	// fault model is enabled, ignored otherwise).
+	SpareLines int
 }
 
 // Normalize fills defaults in place.
@@ -89,6 +101,11 @@ type Result struct {
 	// WearLevelPsi).
 	Wear  *pcm.WearSummary
 	Remap *wearlevel.RemapStats
+
+	// Fault reports injector activity and Spare the hard-error sparing
+	// activity; both nil unless Config.Fault enables a failure mode.
+	Fault *fault.Stats
+	Spare *fault.SpareStats
 }
 
 // preloadPort interposes on the core->memory path to install each line's
@@ -139,8 +156,39 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
+
+	// Optional deterministic fault model: the injector fails pulses at
+	// the device, the controller verifies and retries, and hard errors
+	// drain into a spare region at the top of the device.
+	var inj *fault.Injector
+	if cfg.Fault.Enabled() {
+		if inj, err = fault.New(cfg.Fault); err != nil {
+			return Result{}, err
+		}
+		dev.AttachFaults(inj)
+		cfg.Ctrl.VerifyWrites = true
+	}
+
 	ctrl := memctrl.New(eng, dev, factory, cfg.Ctrl)
 	prog := workload.NewProgram(prof, cfg.Cores, cfg.Seed, cfg.Params)
+
+	var spare *fault.SpareRemapper
+	var memBase wearlevel.Mem = ctrl
+	snoop := ctrl.Snoop
+	if inj != nil {
+		spares := cfg.SpareLines
+		if spares <= 0 {
+			spares = 64
+		}
+		base := pcm.LineAddr(cfg.Params.Lines() - int64(spares))
+		spare, err = fault.NewSpareRemapper(ctrl, base, spares, ctrl.Snoop)
+		if err != nil {
+			return Result{}, err
+		}
+		ctrl.SetHardErrorHandler(spare.OnHardError)
+		memBase = spare
+		snoop = spare.Snoop
+	}
 
 	var wear *pcm.WearTracker
 	if cfg.TrackWear || cfg.WearLevelPsi > 0 {
@@ -152,7 +200,10 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 	}
 
 	// Optional Start-Gap wear leveling over the resident working set.
-	var down cpu.MemPort = ctrl
+	// Ordering: Start-Gap translates logical lines to rotating physical
+	// slots, and the sparing layer below redirects physical slots that
+	// died — the gap rotation never sees hard errors.
+	var down cpu.MemPort = memBase
 	var remap *wearlevel.Remapper
 	var translate func(pcm.LineAddr) pcm.LineAddr
 	if cfg.WearLevelPsi > 0 {
@@ -162,7 +213,7 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 		if rerr != nil {
 			return Result{}, rerr
 		}
-		remap = wearlevel.NewRemapper(ctrl, region, cfg.Params.LineBytes, ctrl.Snoop)
+		remap = wearlevel.NewRemapper(memBase, region, cfg.Params.LineBytes, snoop)
 		down = remap
 		translate = region.Translate
 	}
@@ -249,6 +300,12 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 		rs := remap.Stats()
 		res.Remap = &rs
 	}
+	if inj != nil {
+		fs := inj.Stats()
+		res.Fault = &fs
+		ss := spare.Stats()
+		res.Spare = &ss
+	}
 	return res, nil
 }
 
@@ -269,14 +326,40 @@ func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Fact
 	if err != nil {
 		return Result{}, err
 	}
+
+	var inj *fault.Injector
+	if cfg.Fault.Enabled() {
+		if inj, err = fault.New(cfg.Fault); err != nil {
+			return Result{}, err
+		}
+		dev.AttachFaults(inj)
+		cfg.Ctrl.VerifyWrites = true
+	}
+
 	ctrl := memctrl.New(eng, dev, factory, cfg.Ctrl)
+
+	var spare *fault.SpareRemapper
+	var port cpu.MemPort = ctrl
+	if inj != nil {
+		spares := cfg.SpareLines
+		if spares <= 0 {
+			spares = 64
+		}
+		base := pcm.LineAddr(cfg.Params.Lines() - int64(spares))
+		spare, err = fault.NewSpareRemapper(ctrl, base, spares, ctrl.Snoop)
+		if err != nil {
+			return Result{}, err
+		}
+		ctrl.SetHardErrorHandler(spare.OnHardError)
+		port = spare
+	}
 
 	cpuCores := make([]*cpu.Core, cfg.Cores)
 	remaining := cfg.Cores
 	var lastFinish units.Time
 	for i := range cpuCores {
 		src := trace.NewCoreSource(recs, i)
-		cpuCores[i] = cpu.New(eng, cfg.CPUClock, src, ctrl, cfg.InstrBudget, func() {
+		cpuCores[i] = cpu.New(eng, cfg.CPUClock, src, port, cfg.InstrBudget, func() {
 			remaining--
 			if t := eng.Now(); t > lastFinish {
 				lastFinish = t
@@ -313,6 +396,12 @@ func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Fact
 		cs := c.Stats()
 		res.Cores = append(res.Cores, cs)
 		res.IPC += cs.IPC(cfg.CPUClock, eng.Now())
+	}
+	if inj != nil {
+		fs := inj.Stats()
+		res.Fault = &fs
+		ss := spare.Stats()
+		res.Spare = &ss
 	}
 	return res, nil
 }

@@ -1,0 +1,182 @@
+package wearlevel
+
+import (
+	"bytes"
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/units"
+)
+
+// fakeMem is a scriptable downstream port: it accepts `capacity` writes
+// before rejecting, records everything, and wakes WhenWriteSpace waiters
+// on demand — enough to drive the Remapper's backpressure path without a
+// full controller.
+type fakeMem struct {
+	capacity int // remaining writes accepted before rejecting
+	store    map[pcm.LineAddr][]byte
+	writes   []pcm.LineAddr
+	reads    []pcm.LineAddr
+	waiters  []func()
+}
+
+func newFakeMem(capacity int) *fakeMem {
+	return &fakeMem{capacity: capacity, store: make(map[pcm.LineAddr][]byte)}
+}
+
+func (m *fakeMem) SubmitRead(addr pcm.LineAddr, onDone func(units.Time, []byte)) bool {
+	m.reads = append(m.reads, addr)
+	data := m.store[addr]
+	if data == nil {
+		data = make([]byte, 8)
+	}
+	onDone(0, append([]byte(nil), data...))
+	return true
+}
+
+func (m *fakeMem) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(units.Time)) bool {
+	if m.capacity <= 0 {
+		return false
+	}
+	m.capacity--
+	m.store[addr] = append([]byte(nil), data...)
+	m.writes = append(m.writes, addr)
+	if onDone != nil {
+		onDone(0)
+	}
+	return true
+}
+
+func (m *fakeMem) WhenWriteSpace(fn func()) { m.waiters = append(m.waiters, fn) }
+
+// wake grants more capacity and fires the queued waiters, like the
+// controller does when its write queue drains.
+func (m *fakeMem) wake(capacity int) {
+	m.capacity += capacity
+	ws := m.waiters
+	m.waiters = nil
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+func (m *fakeMem) snoop(addr pcm.LineAddr, dst []byte) {
+	if data, ok := m.store[addr]; ok {
+		copy(dst, data)
+		return
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func line8(b byte) []byte {
+	l := make([]byte, 8)
+	for i := range l {
+		l[i] = b
+	}
+	return l
+}
+
+// A full downstream queue defers the gap-move copy: the Remapper buffers
+// it, registers exactly one WhenWriteSpace waiter (the `retrying` flag),
+// and drains once space opens. Reads meanwhile see the pending copy.
+func TestRemapperBackpressureRetry(t *testing.T) {
+	mem := newFakeMem(1) // room for the direct write, none for the copy
+	region, err := NewRegion(0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRemapper(mem, region, 8, mem.snoop)
+
+	// Seed the line the first gap move will relocate (logical 3 sits in
+	// physical slot 3; the gap starts at slot 4, so the move is 3 -> 4).
+	mem.store[3] = line8(0xAB)
+
+	done := false
+	if !r.SubmitWrite(0, line8(0x11), func(units.Time) { done = true }) {
+		t.Fatal("direct write rejected with capacity available")
+	}
+	if !done {
+		t.Fatal("direct write never completed")
+	}
+	st := r.Stats()
+	if st.GapMoves != 1 {
+		t.Fatalf("GapMoves = %d, want 1 (psi=1)", st.GapMoves)
+	}
+	if st.CopyBytes != 0 {
+		t.Errorf("CopyBytes = %d before the copy landed", st.CopyBytes)
+	}
+	if len(mem.waiters) != 1 {
+		t.Fatalf("%d WhenWriteSpace waiters, want exactly 1 (the retrying flag)", len(mem.waiters))
+	}
+
+	// More rejected traffic while blocked must not pile up extra waiters.
+	if r.SubmitWrite(1, line8(0x22), nil) {
+		t.Error("write accepted by a full downstream queue")
+	}
+	if len(mem.waiters) != 1 {
+		t.Errorf("%d waiters after a second rejection, want still 1", len(mem.waiters))
+	}
+
+	// A read of the copy's destination is served from the pending buffer.
+	var got []byte
+	r.SubmitRead(3, func(_ units.Time, data []byte) { got = data })
+	if !bytes.Equal(got, line8(0xAB)) {
+		t.Errorf("read during pending copy = %x, want the moved line AB...", got)
+	}
+
+	// Space opens: the retry drains the copy and clears the flag.
+	mem.wake(4)
+	st = r.Stats()
+	if st.CopyBytes != 8 {
+		t.Errorf("CopyBytes = %d after drain, want 8", st.CopyBytes)
+	}
+	if !bytes.Equal(mem.store[4], line8(0xAB)) {
+		t.Errorf("slot 4 = %x after drain, want the moved line", mem.store[4])
+	}
+	if len(mem.waiters) != 0 {
+		t.Errorf("%d waiters left after drain", len(mem.waiters))
+	}
+
+	// The machinery is reusable: the next blocked copy re-arms one waiter.
+	mem.capacity = 1
+	r.SubmitWrite(1, line8(0x22), nil)
+	if len(mem.waiters) != 1 {
+		t.Errorf("retrying flag did not re-arm: %d waiters", len(mem.waiters))
+	}
+	mem.wake(4)
+	if r.Stats().CopyBytes != 16 {
+		t.Errorf("CopyBytes = %d after second drain, want 16", r.Stats().CopyBytes)
+	}
+}
+
+// A direct write to a slot holding a pending copy supersedes the copy:
+// the stale gap-move data must never land on top of newer data.
+func TestRemapperPendingSuperseded(t *testing.T) {
+	mem := newFakeMem(1)
+	region, err := NewRegion(0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRemapper(mem, region, 8, mem.snoop)
+	mem.store[3] = line8(0xAB)
+
+	r.SubmitWrite(0, line8(0x11), nil) // gap move 3 -> 4 buffered, queue full
+	if len(mem.waiters) != 1 {
+		t.Fatalf("copy not blocked as intended")
+	}
+
+	// Logical 3 now maps to physical 4 (the old gap). Writing it directly
+	// must drop the pending copy for slot 4.
+	mem.capacity = 1
+	if !r.SubmitWrite(3, line8(0xCD), nil) {
+		t.Fatal("direct write rejected")
+	}
+	// This second write triggers its own gap move (psi=1, move 2 -> 3),
+	// whose copy is also blocked — drain everything.
+	mem.wake(8)
+	if !bytes.Equal(mem.store[4], line8(0xCD)) {
+		t.Errorf("slot 4 = %x, want the direct write CD (stale copy must not land)", mem.store[4])
+	}
+}
