@@ -26,6 +26,7 @@ import (
 	"tetriswrite/internal/system"
 	"tetriswrite/internal/tetris"
 	"tetriswrite/internal/trace"
+	"tetriswrite/internal/units"
 	"tetriswrite/internal/workload"
 )
 
@@ -73,6 +74,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		transient  = fs.Float64("transient-rate", 0, "per-pulse transient write-failure probability in [0,1)")
 		verifyN    = fs.Int("verify-retries", 0, "re-pulse budget before a failed write escalates to a hard error (default 3)")
 		spareLines = fs.Int("spare", 0, "lines reserved as spares for hard-error remapping (default 64 when faults are on)")
+
+		useCaches  = fs.Bool("caches", false, "interpose the Table II cache hierarchy between cores and memory")
+		epochStr   = fs.String("epoch", "", "telemetry sampling interval, e.g. 10us (off when empty)")
+		metricsOut = fs.String("metrics-out", "", "directory for telemetry exports: per-series CSV, epochs.jsonl, metrics.prom (needs -epoch)")
+		jsonOut    = fs.Bool("json", false, "print the report as JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +100,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-verify-retries %d: retry budget cannot be negative", *verifyN)
 	case *spareLines < 0:
 		return fmt.Errorf("-spare %d: spare line count cannot be negative", *spareLines)
+	}
+
+	var epoch units.Duration
+	if *epochStr != "" {
+		var perr error
+		if epoch, perr = units.ParseDuration(*epochStr); perr != nil {
+			return fmt.Errorf("-epoch: %w", perr)
+		}
+	}
+	if *metricsOut != "" && epoch == 0 {
+		return fmt.Errorf("-metrics-out needs -epoch to produce any samples")
 	}
 
 	factory, ok := factories[*scheme]
@@ -151,6 +168,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Ctrl:        ctrlCfg,
 		Fault:       fcfg,
 		SpareLines:  *spareLines,
+		UseCaches:   *useCaches,
+		Epoch:       epoch,
 	}
 
 	var res system.Result
@@ -161,6 +180,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *metricsOut != "" {
+		if err := res.Telemetry.ExportDir(*metricsOut); err != nil {
+			return fmt.Errorf("writing metrics to %s: %w", *metricsOut, err)
+		}
+		fmt.Fprintf(stderr, "pcmsim: wrote %d series x %d epochs to %s\n",
+			len(res.Telemetry.SeriesNames()), res.Telemetry.Epochs(), *metricsOut)
+	}
+	if *jsonOut {
+		return printJSON(stdout, res, par)
 	}
 	printResult(stdout, res, par)
 	return nil
@@ -212,6 +241,27 @@ func printResult(w io.Writer, res system.Result, par pcm.Params) {
 				res.Spare.RemappedLines, res.Spare.SparesLeft, res.Spare.Exhausted)
 		}
 		fmt.Fprintf(w, "verify time    %v total bank time\n", res.Ctrl.VerifyOverhead)
+	}
+	if s := res.Telemetry; s != nil {
+		fmt.Fprintf(w, "telemetry      %d epochs of %v, %d series",
+			s.Epochs(), s.EpochDuration(), len(s.SeriesNames()))
+		if s.Dropped() > 0 {
+			fmt.Fprintf(w, " (%d oldest epochs evicted)", s.Dropped())
+		}
+		fmt.Fprintln(w)
+		if wq := s.Series("memctrl.write_queue_depth"); len(wq) > 0 {
+			var sum, max float64
+			for _, v := range wq {
+				sum += v
+				if v > max {
+					max = v
+				}
+			}
+			fmt.Fprintf(w, "  write queue  mean %.2f, max %.0f entries over epochs\n", sum/float64(len(wq)), max)
+		}
+		if bu := s.Series("power.budget_util"); len(bu) > 0 {
+			fmt.Fprintf(w, "  budget util  %.4f at end of run\n", bu[len(bu)-1])
+		}
 	}
 }
 

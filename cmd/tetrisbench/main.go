@@ -18,11 +18,14 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"time"
 
 	"tetriswrite/internal/exp"
 	"tetriswrite/internal/mlc"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/stats"
+	"tetriswrite/internal/units"
 )
 
 func main() {
@@ -57,6 +60,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csv    = fs.Bool("csv", false, "render figures as CSV instead of tables")
 		mlcCmp = fs.Bool("mlc", false, "print the SLC-vs-MLC write-time comparison (background section)")
 		line   = fs.Int("line", 0, "cache line size in bytes (default 64; 128/256 model POWER7/zEnterprise)")
+
+		epochStr  = fs.String("epoch", "", "attach epoch telemetry to the full-system figures and print the per-scheme summary, e.g. 10us")
+		benchJSON = fs.Bool("bench-json", false, "write a BENCH_<date>.json perf-trajectory artifact and exit")
+		benchDir  = fs.String("bench-dir", ".", "directory for the -bench-json artifact")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +75,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Cores:       *cores,
 		Seed:        *seed,
 		Sequential:  *seq,
+	}
+	if *epochStr != "" {
+		epoch, err := units.ParseDuration(*epochStr)
+		if err != nil {
+			return fmt.Errorf("-epoch: %w", err)
+		}
+		opt.Epoch = epoch
 	}
 	if *line > 0 {
 		par := pcm.DefaultParams()
@@ -99,16 +113,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	if *benchJSON {
+		return writeBenchArtifact(stdout, opt, *benchDir)
+	}
+
 	if *mlcCmp {
 		printMLC(stdout, opt)
 	}
 
 	if !*all && *fig == 0 && *table == 0 && *sweep == "" && !*endur && !*faults && *seeds == 0 && !*mlcCmp {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -all, -fig N, -table N, -sweep, -endurance, -faults or -seeds")
+		return fmt.Errorf("nothing to do: pass -all, -fig N, -table N, -sweep, -endurance, -faults, -seeds or -bench-json")
 	}
 
 	needFull := *all || (*fig >= 11 && *fig <= 14)
+	if opt.Epoch > 0 && !needFull {
+		return fmt.Errorf("-epoch only applies to the full-system figures; add -all or -fig 11..14")
+	}
 	var fr *exp.FullResults
 	if needFull {
 		var err error
@@ -177,6 +198,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if needFull && (*tail || *all) {
 		render(fr.TailLatency())
 	}
+	if needFull && opt.Epoch > 0 {
+		render(fr.EpochSummary())
+	}
 	switch *sweep {
 	case "":
 	case "line":
@@ -203,6 +227,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(stdout, tb)
+	}
+	return nil
+}
+
+// writeBenchArtifact measures the perf trajectory and writes it to
+// BENCH_<date>.json in dir, printing the path and rows to stdout.
+func writeBenchArtifact(stdout io.Writer, opt exp.Options, dir string) error {
+	date := time.Now().UTC().Format("2006-01-02")
+	art, err := exp.BenchTrajectory(opt, date)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+date+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := art.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%s, %d writes)\n", path, art.Workload, art.Writes)
+	for _, row := range art.Schemes {
+		fmt.Fprintf(stdout, "  %-10s %6.3f units/write  %8.1f ns/op  %8.1f verify-ns/write\n",
+			row.Scheme, row.WriteUnits, row.NsPerOp, row.VerifyOverheadNsPerWrite)
 	}
 	return nil
 }

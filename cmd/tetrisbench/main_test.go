@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -124,5 +127,74 @@ func TestRunMLC(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "SLC vs MLC") || !strings.Contains(out.String(), "ratio") {
 		t.Errorf("mlc output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunEpochSummary(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-fig", "11", "-instr", "40000", "-epoch", "20us"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Epoch telemetry", "wq mean", "budget util", "tetris"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("epoch summary missing %q:\n%s", want, out.String())
+		}
+	}
+	// -epoch needs the full-system figures to have anything to sample.
+	if err := run([]string{"-fig", "10", "-epoch", "20us"}, &out, &errb); err == nil {
+		t.Error("-epoch with a chip-level figure accepted")
+	}
+	if err := run([]string{"-fig", "11", "-epoch", "bogus"}, &out, &errb); err == nil {
+		t.Error("bad -epoch value accepted")
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	err := run([]string{"-bench-json", "-bench-dir", dir, "-writes", "200"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.HasPrefix(entries[0].Name(), "BENCH_") ||
+		!strings.HasSuffix(entries[0].Name(), ".json") {
+		t.Fatalf("unexpected artifact listing: %v", entries)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Date    string `json:"date"`
+		Writes  int    `json:"writes"`
+		Schemes []struct {
+			Scheme     string  `json:"scheme"`
+			WriteUnits float64 `json:"write_units_per_write"`
+			NsPerOp    float64 `json:"ns_per_op"`
+			VerifyNs   float64 `json:"verify_overhead_ns_per_write"`
+		} `json:"schemes"`
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v\n%s", err, raw)
+	}
+	if art.Writes != 200 || len(art.Schemes) != 5 {
+		t.Errorf("artifact shape wrong: writes=%d schemes=%d", art.Writes, len(art.Schemes))
+	}
+	for _, s := range art.Schemes {
+		if s.WriteUnits <= 0 || s.NsPerOp <= 0 || s.VerifyNs <= 0 {
+			t.Errorf("scheme %s has non-positive measurements: %+v", s.Scheme, s)
+		}
+	}
+	// The deterministic axis: baseline plans 8 units, tetris well under 2.
+	if u := art.Schemes[0].WriteUnits; u < 7.9 || u > 8.1 {
+		t.Errorf("baseline write units = %v, want 8", u)
+	}
+	if u := art.Schemes[4].WriteUnits; u <= 0 || u >= 2 {
+		t.Errorf("tetris write units = %v, want in (0, 2)", u)
 	}
 }

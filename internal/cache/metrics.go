@@ -1,0 +1,33 @@
+package cache
+
+import (
+	"strings"
+
+	"tetriswrite/internal/telemetry"
+)
+
+// RegisterMetrics exposes every level's hit/miss/write-back activity and
+// miss rate under cache.<level>.*, plus the write-back buffer depth —
+// the signals that explain when the hierarchy shields PCM from the
+// workload and when dirty evictions storm the write queue.
+func (h *Hierarchy) RegisterMetrics(reg *telemetry.Registry) {
+	for _, l := range h.levels {
+		l := l
+		prefix := "cache." + strings.ToLower(l.cfg.Name)
+		reg.CounterFunc(prefix+".hits", "lookups that hit", func() float64 { return float64(l.st.Hits) })
+		reg.CounterFunc(prefix+".misses", "lookups that missed", func() float64 { return float64(l.st.Misses) })
+		reg.CounterFunc(prefix+".writebacks", "dirty evictions pushed down", func() float64 {
+			return float64(l.st.WriteBacks)
+		})
+		reg.GaugeFunc(prefix+".miss_rate", "misses / lookups", func() float64 {
+			total := l.st.Hits + l.st.Misses
+			if total == 0 {
+				return 0
+			}
+			return float64(l.st.Misses) / float64(total)
+		})
+	}
+	reg.GaugeFunc("cache.wb_buffer_depth", "write-backs waiting for the controller", func() float64 {
+		return float64(len(h.wbBuf))
+	})
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"tetriswrite/internal/fault"
+	"tetriswrite/internal/system"
+	"tetriswrite/internal/workload"
+)
+
+// BenchScheme is one scheme's row in the perf-trajectory artifact.
+type BenchScheme struct {
+	Scheme string `json:"scheme"`
+	// WriteUnits is the mean write units per line write on the reference
+	// workload — deterministic, so drift here is an algorithm change.
+	WriteUnits float64 `json:"write_units_per_write"`
+	// NsPerOp is the wall-clock cost of planning one write on this
+	// machine — the noisy axis, for spotting order-of-magnitude
+	// regressions, not single-digit percents.
+	NsPerOp float64 `json:"ns_per_op"`
+	// VerifyOverheadNsPerWrite is the simulated verify-loop bank time a
+	// write pays under a 1% transient fault rate — deterministic.
+	VerifyOverheadNsPerWrite float64 `json:"verify_overhead_ns_per_write"`
+}
+
+// BenchArtifact is the BENCH_<date>.json payload: one point of the
+// repository's performance trajectory, comparable across commits.
+type BenchArtifact struct {
+	Date     string        `json:"date"`
+	Workload string        `json:"workload"`
+	Writes   int           `json:"writes"`
+	Schemes  []BenchScheme `json:"schemes"`
+}
+
+// benchReference is the workload the trajectory is measured on; vips is
+// the paper's running example and exercises every scheme's fast paths.
+const benchReference = "vips"
+
+// BenchTrajectory measures every scheme's write units, planning
+// throughput and verify overhead on the reference workload.
+func BenchTrajectory(opt Options, date string) (*BenchArtifact, error) {
+	opt.Normalize()
+	prof, err := workload.ProfileByName(benchReference)
+	if err != nil {
+		return nil, err
+	}
+	art := &BenchArtifact{Date: date, Workload: prof.Name, Writes: opt.Writes}
+	for _, nf := range SchemeSet() {
+		row := BenchScheme{Scheme: nf.Name}
+
+		s := nf.Factory(opt.Params)
+		start := time.Now()
+		row.WriteUnits = MeasureWriteUnits(prof, s, opt)
+		row.NsPerOp = float64(time.Since(start).Nanoseconds()) / float64(opt.Writes)
+
+		// Verify overhead under a modest transient-failure rate: simulated
+		// bank time spent on read-back and re-pulse rounds, per write.
+		cfg := system.Config{
+			Params:      opt.Params,
+			Cores:       opt.Cores,
+			InstrBudget: 20_000,
+			Seed:        opt.Seed,
+			Fault:       fault.Config{TransientRate: 0.01, Seed: opt.Seed},
+		}
+		res, err := system.Run(prof, nf.Factory, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("verify run (%s): %w", nf.Name, err)
+		}
+		if res.Ctrl.Writes > 0 {
+			row.VerifyOverheadNsPerWrite = res.Ctrl.VerifyOverhead.Nanoseconds() / float64(res.Ctrl.Writes)
+		}
+		art.Schemes = append(art.Schemes, row)
+	}
+	return art, nil
+}
+
+// WriteJSON writes the artifact as indented JSON.
+func (a *BenchArtifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

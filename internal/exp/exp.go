@@ -16,6 +16,7 @@ import (
 	"tetriswrite/internal/stats"
 	"tetriswrite/internal/system"
 	"tetriswrite/internal/tetris"
+	"tetriswrite/internal/units"
 	"tetriswrite/internal/workload"
 )
 
@@ -53,6 +54,10 @@ type Options struct {
 	// Parallel runs full-system simulations on all CPUs (default true;
 	// results are deterministic either way).
 	Sequential bool
+	// Epoch, when positive, attaches the telemetry sampler to every
+	// full-system run so EpochSummary can report time-series behaviour
+	// per workload and scheme.
+	Epoch units.Duration
 }
 
 // Normalize fills defaults.
@@ -259,6 +264,7 @@ func RunFullSystem(opt Options) (*FullResults, error) {
 					InstrBudget: opt.InstrBudget,
 					Seed:        opt.Seed,
 					Ctrl:        memctrl.Config{},
+					Epoch:       opt.Epoch,
 				}
 				res, err := system.Run(fr.Profiles[j.w], fr.Schemes[j.s].Factory, cfg)
 				if err != nil {

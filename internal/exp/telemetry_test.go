@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"tetriswrite/internal/units"
+)
+
+func TestEpochSummaryAndSeries(t *testing.T) {
+	opt := fastOptions()
+	opt.Epoch = 20 * units.Microsecond
+	fr, err := RunFullSystem(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := fr.EpochSummary()
+	out := tb.String()
+	for _, want := range []string{"Epoch telemetry", "wq mean", "budget util", "vips", "tetris"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "no -epoch set") {
+		t.Error("summary claims no epoch despite Options.Epoch")
+	}
+
+	wq := fr.EpochSeries("vips", "tetris", "memctrl.write_queue_depth")
+	if len(wq) == 0 {
+		t.Fatal("no write-queue series for vips/tetris")
+	}
+	if fr.EpochSeries("vips", "nope", "memctrl.write_queue_depth") != nil {
+		t.Error("unknown scheme returned a series")
+	}
+	if fr.EpochSeries("nope", "tetris", "memctrl.write_queue_depth") != nil {
+		t.Error("unknown workload returned a series")
+	}
+}
+
+func TestEpochSummaryWithoutEpoch(t *testing.T) {
+	fr, err := RunFullSystem(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fr.EpochSummary().String()
+	if !strings.Contains(out, "no -epoch set") {
+		t.Errorf("summary should flag the missing epoch:\n%s", out)
+	}
+	if fr.EpochSeries("vips", "tetris", "memctrl.write_queue_depth") != nil {
+		t.Error("series returned without telemetry attached")
+	}
+}
+
+func TestBenchTrajectory(t *testing.T) {
+	opt := fastOptions()
+	opt.Writes = 200
+	art, err := BenchTrajectory(opt, "2026-01-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Date != "2026-01-01" || art.Workload != "vips" || len(art.Schemes) != 5 {
+		t.Fatalf("artifact header wrong: %+v", art)
+	}
+	// Write units are deterministic: two measurements must agree exactly.
+	art2, err := BenchTrajectory(opt, "2026-01-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range art.Schemes {
+		if art.Schemes[i].WriteUnits != art2.Schemes[i].WriteUnits {
+			t.Errorf("%s write units nondeterministic: %v vs %v",
+				art.Schemes[i].Scheme, art.Schemes[i].WriteUnits, art2.Schemes[i].WriteUnits)
+		}
+		if art.Schemes[i].VerifyOverheadNsPerWrite != art2.Schemes[i].VerifyOverheadNsPerWrite {
+			t.Errorf("%s verify overhead nondeterministic", art.Schemes[i].Scheme)
+		}
+	}
+	// Tetris must plan strictly fewer units than the DCW baseline.
+	if art.Schemes[4].WriteUnits >= art.Schemes[0].WriteUnits {
+		t.Errorf("tetris (%v) not below baseline (%v)",
+			art.Schemes[4].WriteUnits, art.Schemes[0].WriteUnits)
+	}
+}

@@ -141,6 +141,7 @@ type Stats struct {
 	BitSets          int64
 	BitResets        int64
 	Drains           int64
+	DrainExits       int64 // drains that ended by reaching the low-water mark
 	StallRejects     int64 // submissions rejected because a queue was full
 	Pauses           int64 // writes paused to service a read
 	Cancellations    int64 // writes cancelled and requeued for a read
@@ -461,6 +462,7 @@ func (c *Controller) pickWrite(b *bank) *request {
 func (c *Controller) noteWriteSpace() {
 	if c.draining && len(c.writeQ) <= c.cfg.DrainLow && len(c.idleWait) == 0 {
 		c.draining = false
+		c.stats.DrainExits++
 	}
 	waiters := c.spaceWait
 	c.spaceWait = nil

@@ -1,0 +1,26 @@
+package pcm
+
+import "tetriswrite/internal/telemetry"
+
+// RegisterMetrics exposes the device's array activity under the pcm.*
+// namespace: line operations, the driven pulse mix and the
+// content-awareness signal (skipped cells). Values are polled from the
+// device's counters at epoch boundaries; the access paths are untouched.
+func (d *Device) RegisterMetrics(reg *telemetry.Registry) {
+	snap := func(f func(DeviceStats) int64) func() float64 {
+		return func() float64 { return float64(f(d.Stats())) }
+	}
+	reg.CounterFunc("pcm.line_reads", "array line reads",
+		snap(func(s DeviceStats) int64 { return s.LineReads }))
+	reg.CounterFunc("pcm.line_writes", "array line writes",
+		snap(func(s DeviceStats) int64 { return s.LineWrites }))
+	reg.CounterFunc("pcm.bit_sets", "SET pulses landed on the array",
+		snap(func(s DeviceStats) int64 { return s.BitSets }))
+	reg.CounterFunc("pcm.bit_resets", "RESET pulses landed on the array",
+		snap(func(s DeviceStats) int64 { return s.BitResets }))
+	reg.CounterFunc("pcm.bits_skipped", "cells covered by a write but unchanged (DCW skip)",
+		snap(func(s DeviceStats) int64 { return s.BitsSkipped }))
+	reg.GaugeFunc("pcm.touched_lines", "distinct lines ever written (sparse footprint)", func() float64 {
+		return float64(d.TouchedLines())
+	})
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"tetriswrite/internal/units"
@@ -157,4 +158,108 @@ func BenchmarkEngine(b *testing.B) {
 	}
 	e.At(0, tick)
 	e.Run()
+}
+
+// After(0) schedules at the current instant but still behind every event
+// already queued for that instant: insertion order is the tiebreak, so a
+// zero-delay hop cannot jump ahead of earlier same-time work.
+func TestAfterZeroDelay(t *testing.T) {
+	var eng Engine
+	var order []string
+	eng.At(10, func() { order = append(order, "a") })
+	eng.At(10, func() {
+		order = append(order, "b")
+		eng.After(0, func() { order = append(order, "d") })
+	})
+	eng.At(10, func() { order = append(order, "c") })
+	eng.Run()
+	if got := strings.Join(order, ""); got != "abcd" {
+		t.Errorf("order = %q, want abcd", got)
+	}
+	if eng.Now() != 10 {
+		t.Errorf("now = %v after zero-delay chain, want 10", eng.Now())
+	}
+}
+
+// Same-timestamp events scheduled *during* the run still execute in
+// insertion order relative to each other, matching pre-run scheduling.
+func TestSameTimestampSchedulingDuringRun(t *testing.T) {
+	run := func() []int {
+		var eng Engine
+		var order []int
+		eng.At(5, func() {
+			for i := 0; i < 8; i++ {
+				i := i
+				eng.After(7, func() { order = append(order, i) })
+			}
+		})
+		eng.At(12, func() { order = append(order, 100) })
+		eng.Run()
+		return order
+	}
+	first := run()
+	want := []int{100, 0, 1, 2, 3, 4, 5, 6, 7} // At(12) was inserted first
+	if len(first) != len(want) {
+		t.Fatalf("got %v, want %v", first, want)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("got %v, want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("nondeterministic same-timestamp order: %v vs %v", again, first)
+			}
+		}
+	}
+}
+
+// A periodic self-rescheduling observer — the telemetry sampler's shape —
+// must re-arm only while other work is pending, or Run would never
+// return. This pins the contract the sampler relies on: Pending() inside
+// a callback counts the *other* queued events.
+func TestSelfReschedulingObserver(t *testing.T) {
+	var eng Engine
+	var ticks []units.Time
+	const period = 10
+
+	// Workload: a chain of 5 events, 25 time units apart.
+	var chain func(n int)
+	chain = func(n int) {
+		if n == 0 {
+			return
+		}
+		eng.After(25, func() { chain(n - 1) })
+	}
+	chain(5)
+
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, eng.Now())
+		if eng.Pending() > 0 {
+			eng.After(period, tick)
+		}
+	}
+	eng.After(period, tick)
+	eng.Run()
+
+	if len(ticks) == 0 {
+		t.Fatal("observer never ticked")
+	}
+	for i, at := range ticks {
+		if want := units.Time((i + 1) * period); at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	// The last tick must land at or after the last workload event (125)
+	// and the observer must then stop rather than spin forever.
+	if last := ticks[len(ticks)-1]; last < 125 || last > 125+period {
+		t.Errorf("last tick at %v, want within one period after 125", last)
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("%d events still queued after Run returned", eng.Pending())
+	}
 }

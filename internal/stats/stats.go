@@ -8,11 +8,28 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"unsafe"
 
 	"tetriswrite/internal/units"
 )
 
-// Latency accumulates a stream of durations.
+// latencyLocks stripes goroutine-safety across Latency values. Latency
+// cannot embed a mutex — it must stay copyable, because controller stats
+// structs containing it are snapshotted by value (and `go vet` rightly
+// rejects copying locks) — so each value locks the stripe its address
+// hashes to. Distinct values on the same stripe merely contend; they
+// never corrupt each other.
+var latencyLocks [64]sync.Mutex
+
+func (l *Latency) lock() *sync.Mutex {
+	return &latencyLocks[(uintptr(unsafe.Pointer(l))>>4)%uintptr(len(latencyLocks))]
+}
+
+// Latency accumulates a stream of durations. All methods are
+// goroutine-safe, so parallel experiment runs can share one accumulator;
+// copying a Latency while another goroutine is adding to it is still a
+// race (copy from the owning goroutine, as the simulators do).
 type Latency struct {
 	count    int64
 	sum      float64 // in picoseconds
@@ -22,6 +39,9 @@ type Latency struct {
 
 // Add records one sample.
 func (l *Latency) Add(d units.Duration) {
+	mu := l.lock()
+	mu.Lock()
+	defer mu.Unlock()
 	if l.count == 0 || d < l.min {
 		l.min = d
 	}
@@ -34,10 +54,18 @@ func (l *Latency) Add(d units.Duration) {
 }
 
 // Count returns the number of samples.
-func (l *Latency) Count() int64 { return l.count }
+func (l *Latency) Count() int64 {
+	mu := l.lock()
+	mu.Lock()
+	defer mu.Unlock()
+	return l.count
+}
 
 // Mean returns the average sample, or 0 with no samples.
 func (l *Latency) Mean() units.Duration {
+	mu := l.lock()
+	mu.Lock()
+	defer mu.Unlock()
 	if l.count == 0 {
 		return 0
 	}
@@ -45,15 +73,28 @@ func (l *Latency) Mean() units.Duration {
 }
 
 // Min returns the smallest sample, or 0 with no samples.
-func (l *Latency) Min() units.Duration { return l.min }
+func (l *Latency) Min() units.Duration {
+	mu := l.lock()
+	mu.Lock()
+	defer mu.Unlock()
+	return l.min
+}
 
 // Max returns the largest sample.
-func (l *Latency) Max() units.Duration { return l.max }
+func (l *Latency) Max() units.Duration {
+	mu := l.lock()
+	mu.Lock()
+	defer mu.Unlock()
+	return l.max
+}
 
 // Percentile estimates the p-th percentile (0 < p <= 100) from the
 // log-scale histogram; the estimate is exact to within the bucket
 // resolution (~7% with the default 10-buckets-per-decade layout).
 func (l *Latency) Percentile(p float64) units.Duration {
+	mu := l.lock()
+	mu.Lock()
+	defer mu.Unlock()
 	return units.Duration(l.hist.Percentile(p))
 }
 
@@ -96,8 +137,14 @@ func (h *Histogram) Add(v float64) {
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.total }
 
-// Percentile estimates the p-th percentile (0 < p <= 100). With no
-// samples it returns 0.
+// Percentile estimates the p-th percentile (0 < p <= 100).
+//
+// Edge cases, all deliberate:
+//   - an empty histogram returns 0 (there is no data to estimate from);
+//   - a histogram whose samples are all zero returns 0 for every p (the
+//     zero bucket covers any target rank);
+//   - p <= 0 is treated as "just above 0" and p > 100 as 100, so callers
+//     never get an out-of-range rank.
 func (h *Histogram) Percentile(p float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -117,6 +164,12 @@ func (h *Histogram) Percentile(p float64) float64 {
 	for k := range h.buckets {
 		keys = append(keys, k)
 	}
+	if len(keys) == 0 {
+		// Unreachable when the counters are consistent (total > zero
+		// implies a non-empty bucket), but a merged-in inconsistent
+		// histogram should degrade to 0, not panic.
+		return 0
+	}
 	sort.Ints(keys)
 	for _, k := range keys {
 		run += h.buckets[k]
@@ -127,14 +180,50 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return bucketUpper(keys[len(keys)-1])
 }
 
-// Counter is a named monotonic counter group.
+// Merge folds other's samples into h, exactly: both histograms share the
+// fixed bucket layout, so the merged percentiles equal those of a
+// histogram fed both streams. Merging nil, an empty histogram, or h into
+// itself is a no-op. This is the aggregation path of sharded runs: each
+// worker fills a private histogram, the harness merges them.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h || other.total == 0 {
+		return
+	}
+	if h.buckets == nil {
+		h.buckets = make(map[int]int64)
+	}
+	h.zero += other.zero
+	h.total += other.total
+	for k, v := range other.buckets {
+		h.buckets[k] += v
+	}
+}
+
+// Clone returns an independent copy of the histogram. (A plain struct
+// copy shares the bucket map; Clone is what snapshot paths need.)
+func (h *Histogram) Clone() Histogram {
+	c := Histogram{zero: h.zero, total: h.total}
+	if h.buckets != nil {
+		c.buckets = make(map[int]int64, len(h.buckets))
+		for k, v := range h.buckets {
+			c.buckets[k] = v
+		}
+	}
+	return c
+}
+
+// Counter is a named monotonic counter group. It is goroutine-safe, so
+// parallel experiment runs can share one group.
 type Counter struct {
+	mu     sync.Mutex
 	names  []string
 	counts map[string]int64
 }
 
 // Inc adds n to the named counter.
 func (c *Counter) Inc(name string, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.counts == nil {
 		c.counts = make(map[string]int64)
 	}
@@ -145,10 +234,18 @@ func (c *Counter) Inc(name string, n int64) {
 }
 
 // Get returns the named counter's value.
-func (c *Counter) Get(name string) int64 { return c.counts[name] }
+func (c *Counter) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
 
 // Names returns the counters in first-increment order.
-func (c *Counter) Names() []string { return c.names }
+func (c *Counter) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.names...)
+}
 
 // Table renders rows of labelled numeric series as aligned plain text —
 // the output format of every figure the harness regenerates.

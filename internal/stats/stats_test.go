@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"tetriswrite/internal/units"
@@ -202,5 +203,171 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\nplain,1.500\n\"with,comma\",\"quo\"\"te\"\n"
 	if out != want {
 		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Add(float64(i))
+	}
+	for i := 0; i < 30; i++ {
+		b.Add(0)
+	}
+	b.Add(5e6)
+
+	var whole Histogram
+	for i := 0; i < 50; i++ {
+		whole.Add(float64(i))
+	}
+	for i := 0; i < 30; i++ {
+		whole.Add(0)
+	}
+	whole.Add(5e6)
+
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), whole.Count())
+	}
+	for _, p := range []float64{1, 25, 50, 75, 99, 100} {
+		if got, want := a.Percentile(p), whole.Percentile(p); got != want {
+			t.Errorf("P%v = %v after merge, want %v", p, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	var a Histogram
+	a.Add(3)
+	before := a.Count()
+
+	a.Merge(nil) // nil is a no-op
+	a.Merge(&a)  // self-merge is a no-op, not a doubling
+	var empty Histogram
+	a.Merge(&empty) // empty is a no-op
+	if a.Count() != before {
+		t.Errorf("count %d after no-op merges, want %d", a.Count(), before)
+	}
+
+	// Merging into an empty histogram copies, and the copy is
+	// independent of the source afterwards.
+	var dst Histogram
+	dst.Merge(&a)
+	if dst.Count() != a.Count() || dst.Percentile(50) != a.Percentile(50) {
+		t.Error("merge into empty did not copy")
+	}
+	dst.Add(1e12)
+	if a.Count() == dst.Count() {
+		t.Error("source histogram aliased by merge")
+	}
+
+	// All-zero histograms merge into all-zero percentiles.
+	var z1, z2 Histogram
+	z1.Add(0)
+	z2.Add(0)
+	z1.Merge(&z2)
+	if z1.Count() != 2 || z1.Percentile(100) != 0 {
+		t.Errorf("all-zero merge: count=%d P100=%v", z1.Count(), z1.Percentile(100))
+	}
+}
+
+func TestHistogramPercentileClamping(t *testing.T) {
+	var h Histogram
+	h.Add(1000)
+	if h.Percentile(-5) != h.Percentile(0) {
+		t.Error("p < 0 not clamped to 0")
+	}
+	if h.Percentile(200) != h.Percentile(100) {
+		t.Error("p > 100 not clamped to 100")
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	var h Histogram
+	h.Add(1000)
+	c := h.Clone()
+	c.Add(1e12)
+	if h.Count() != 1 || c.Count() != 2 {
+		t.Errorf("clone not independent: src=%d clone=%d", h.Count(), c.Count())
+	}
+	var empty Histogram
+	if e := empty.Clone(); e.Count() != 0 {
+		t.Error("cloning an empty histogram is not empty")
+	}
+}
+
+// The striped-lock protection on Latency and the mutex on Counter must
+// hold under concurrent writers (checked by -race) and lose no samples.
+func TestLatencyConcurrent(t *testing.T) {
+	var l Latency
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.Add(units.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != workers*perWorker {
+		t.Errorf("count = %d, want %d", l.Count(), workers*perWorker)
+	}
+	if l.Mean() != units.Microsecond {
+		t.Errorf("mean = %v, want 1us", l.Mean())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc("ops", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("ops"); got != workers*perWorker {
+		t.Errorf("ops = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// The satellite requirement: locking Latency must stay cheap enough to
+// sit on the memory controller's request path. Compare against the cost
+// of the arithmetic it protects.
+func BenchmarkLatencyAdd(b *testing.B) {
+	var l Latency
+	for i := 0; i < b.N; i++ {
+		l.Add(units.Duration(i))
+	}
+}
+
+func BenchmarkLatencyAddParallel(b *testing.B) {
+	var l Latency
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Add(units.Microsecond)
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc("ops", 1)
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i % 100000))
 	}
 }

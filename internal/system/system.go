@@ -17,6 +17,7 @@ import (
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/sim"
+	"tetriswrite/internal/telemetry"
 	"tetriswrite/internal/trace"
 	"tetriswrite/internal/units"
 	"tetriswrite/internal/wearlevel"
@@ -58,6 +59,16 @@ type Config struct {
 	// SpareLines sizes the hard-error spare region (default 64 when the
 	// fault model is enabled, ignored otherwise).
 	SpareLines int
+
+	// Epoch, when positive, attaches the telemetry sampler: every layer
+	// registers its counters and a snapshot of all of them is taken each
+	// Epoch of simulated time into Result.Telemetry. Zero (the default)
+	// attaches nothing and the run is bit-identical to one without
+	// telemetry — all instruments are polled, never pushed.
+	Epoch units.Duration
+	// MetricsRing caps the number of retained epochs (oldest evicted
+	// first); 0 means telemetry.DefaultRingSize.
+	MetricsRing int
 }
 
 // Normalize fills defaults in place.
@@ -106,6 +117,10 @@ type Result struct {
 	// activity; both nil unless Config.Fault enables a failure mode.
 	Fault *fault.Stats
 	Spare *fault.SpareStats
+
+	// Telemetry holds the epoch time series recorded during the run; nil
+	// unless Config.Epoch was set.
+	Telemetry *telemetry.Sampler
 }
 
 // preloadPort interposes on the core->memory path to install each line's
@@ -262,6 +277,13 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 		})
 		cores[i].Start()
 	}
+	var sampler *telemetry.Sampler
+	if cfg.Epoch > 0 {
+		sampler = attachTelemetry(eng, cfg, telemetryParts{
+			ctrl: ctrl, dev: dev, hier: hier, remap: remap,
+			inj: inj, spare: spare, cores: cores, clock: cfg.CPUClock,
+		})
+	}
 	eng.Run()
 	if remaining != 0 {
 		return Result{}, fmt.Errorf("system: %d cores never finished (deadlock?)", remaining)
@@ -306,6 +328,7 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 		ss := spare.Stats()
 		res.Spare = &ss
 	}
+	res.Telemetry = sampler
 	return res, nil
 }
 
@@ -354,6 +377,28 @@ func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Fact
 		port = spare
 	}
 
+	// Optional cache hierarchy, same placement as in Run. Traces carry
+	// absolute line images over a zeroed device, so no preload layer is
+	// needed; PreSET hints flow straight from the LLC to the controller.
+	var hier *cache.Hierarchy
+	if cfg.UseCaches {
+		levels := cfg.CacheLevels
+		if levels == nil {
+			levels = cache.DefaultLevels(cfg.CPUClock)
+		}
+		hier, err = cache.New(eng, port, levels)
+		if err != nil {
+			return Result{}, err
+		}
+		if cfg.Ctrl.IdlePreset {
+			ctrl.SetDirtyChecker(hier.IsDirty)
+			hier.OnDirty = ctrl.PresetHint
+		}
+		port = hier
+	} else if cfg.Ctrl.IdlePreset {
+		return Result{}, fmt.Errorf("system: IdlePreset requires UseCaches (hints come from LLC dirtiness)")
+	}
+
 	cpuCores := make([]*cpu.Core, cfg.Cores)
 	remaining := cfg.Cores
 	var lastFinish units.Time
@@ -369,6 +414,13 @@ func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Fact
 			}
 		})
 		cpuCores[i].Start()
+	}
+	var sampler *telemetry.Sampler
+	if cfg.Epoch > 0 {
+		sampler = attachTelemetry(eng, cfg, telemetryParts{
+			ctrl: ctrl, dev: dev, hier: hier,
+			inj: inj, spare: spare, cores: cpuCores, clock: cfg.CPUClock,
+		})
 	}
 	eng.Run()
 	if remaining != 0 {
@@ -397,11 +449,15 @@ func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Fact
 		res.Cores = append(res.Cores, cs)
 		res.IPC += cs.IPC(cfg.CPUClock, eng.Now())
 	}
+	if hier != nil {
+		res.Caches = hier.LevelStats()
+	}
 	if inj != nil {
 		fs := inj.Stats()
 		res.Fault = &fs
 		ss := spare.Stats()
 		res.Spare = &ss
 	}
+	res.Telemetry = sampler
 	return res, nil
 }

@@ -1,0 +1,114 @@
+package system
+
+import (
+	"tetriswrite/internal/cache"
+	"tetriswrite/internal/cpu"
+	"tetriswrite/internal/fault"
+	"tetriswrite/internal/memctrl"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/telemetry"
+	"tetriswrite/internal/units"
+	"tetriswrite/internal/wearlevel"
+)
+
+// telemetryParts collects the pipeline components a simulation actually
+// assembled; nil members are simply not instrumented.
+type telemetryParts struct {
+	ctrl  *memctrl.Controller
+	dev   *pcm.Device
+	hier  *cache.Hierarchy
+	remap *wearlevel.Remapper
+	inj   *fault.Injector
+	spare *fault.SpareRemapper
+	cores []*cpu.Core
+	clock units.Clock
+}
+
+// attachTelemetry builds the run's registry, registers every layer
+// (registration order is the exporters' emission order: cpu, cache,
+// memctrl+power, pcm, wearlevel, fault) and starts the epoch sampler.
+// Called only when cfg.Epoch > 0: a run without telemetry allocates
+// nothing and replays bit-identically.
+func attachTelemetry(eng *sim.Engine, cfg Config, parts telemetryParts) *telemetry.Sampler {
+	reg := telemetry.NewRegistry()
+	registerCoreMetrics(reg, eng, parts.clock, parts.cores)
+	if parts.hier != nil {
+		parts.hier.RegisterMetrics(reg)
+	}
+	parts.ctrl.RegisterMetrics(reg)
+	parts.dev.RegisterMetrics(reg)
+	if parts.remap != nil {
+		parts.remap.RegisterMetrics(reg)
+	}
+	if parts.inj != nil {
+		registerFaultMetrics(reg, parts.inj, parts.spare)
+	}
+	s := telemetry.NewSampler(eng, reg, cfg.Epoch, cfg.MetricsRing)
+	s.Start()
+	return s
+}
+
+// registerCoreMetrics registers cpu.* aggregates over all cores: retired
+// instructions, memory traffic, stall time and the summed IPC the
+// paper's Figure 13 reports.
+func registerCoreMetrics(reg *telemetry.Registry, eng *sim.Engine, clock units.Clock, cores []*cpu.Core) {
+	sum := func(f func(cpu.Stats) float64) func() float64 {
+		return func() float64 {
+			var total float64
+			for _, c := range cores {
+				total += f(c.Stats())
+			}
+			return total
+		}
+	}
+	reg.CounterFunc("cpu.retired", "instructions retired across cores",
+		sum(func(s cpu.Stats) float64 { return float64(s.Retired) }))
+	reg.CounterFunc("cpu.reads", "memory reads issued across cores",
+		sum(func(s cpu.Stats) float64 { return float64(s.Reads) }))
+	reg.CounterFunc("cpu.writes", "memory writes issued across cores",
+		sum(func(s cpu.Stats) float64 { return float64(s.Writes) }))
+	reg.CounterFunc("cpu.read_stall_ns", "time blocked on memory reads, all cores",
+		sum(func(s cpu.Stats) float64 { return s.ReadStall.Nanoseconds() }))
+	reg.CounterFunc("cpu.write_stall_ns", "time blocked on a full write queue, all cores",
+		sum(func(s cpu.Stats) float64 { return s.WriteStall.Nanoseconds() }))
+	reg.GaugeFunc("cpu.ipc", "summed per-core IPC so far", func() float64 {
+		var total float64
+		for _, c := range cores {
+			total += c.Stats().IPC(clock, eng.Now())
+		}
+		return total
+	})
+	reg.GaugeFunc("cpu.finished_cores", "cores that retired their budget", func() float64 {
+		var n float64
+		for _, c := range cores {
+			if c.Stats().Finished {
+				n++
+			}
+		}
+		return n
+	})
+}
+
+// registerFaultMetrics registers the fault injector and (when present)
+// the spare remapper under fault.* / spare.*.
+func registerFaultMetrics(reg *telemetry.Registry, inj *fault.Injector, spare *fault.SpareRemapper) {
+	reg.CounterFunc("fault.transient_failures", "pulses that failed transiently", func() float64 {
+		return float64(inj.Stats().TransientFailures)
+	})
+	reg.CounterFunc("fault.stuck_cells", "cells permanently stuck (wear-out)", func() float64 {
+		return float64(inj.Stats().StuckCells)
+	})
+	if spare == nil {
+		return
+	}
+	reg.CounterFunc("spare.remapped_lines", "hard-error lines redirected to spares", func() float64 {
+		return float64(spare.Stats().RemappedLines)
+	})
+	reg.GaugeFunc("spare.spares_left", "spare slots still available", func() float64 {
+		return float64(spare.Stats().SparesLeft)
+	})
+	reg.CounterFunc("spare.exhausted", "hard errors dropped with no spare left", func() float64 {
+		return float64(spare.Stats().Exhausted)
+	})
+}

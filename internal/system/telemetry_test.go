@@ -1,0 +1,128 @@
+package system
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tetriswrite/internal/fault"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/tetris"
+	"tetriswrite/internal/trace"
+	"tetriswrite/internal/units"
+	"tetriswrite/internal/workload"
+)
+
+// countPrefixes tallies how many registered series fall under each
+// dotted namespace.
+func countPrefixes(names []string) map[string]int {
+	out := make(map[string]int)
+	for _, n := range names {
+		prefix, _, _ := strings.Cut(n, ".")
+		out[prefix]++
+	}
+	return out
+}
+
+func TestRunTelemetrySpansLayers(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	cfg := smallConfig()
+	cfg.Epoch = 10 * units.Microsecond
+	cfg.UseCaches = true
+	cfg.WearLevelPsi = 64
+	cfg.Fault = fault.Config{TransientRate: 0.001, Seed: 3}
+	res, err := Run(prof, schemes.NewDCW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("Epoch set but Result.Telemetry is nil")
+	}
+	s := res.Telemetry
+	if s.Epochs() < 2 {
+		t.Fatalf("only %d epochs recorded for a %v run", s.Epochs(), res.RunningTime)
+	}
+	names := s.SeriesNames()
+	got := countPrefixes(names)
+	for _, want := range []string{"cpu", "cache", "memctrl", "power", "pcm", "wearlevel", "fault", "spare"} {
+		if got[want] == 0 {
+			t.Errorf("no %s.* series registered; have prefixes %v", want, got)
+		}
+	}
+	if len(names) < 8 {
+		t.Errorf("only %d series, want >= 8", len(names))
+	}
+
+	// Counters must be monotonic across epochs and end at the final value.
+	retired := s.Series("cpu.retired")
+	for i := 1; i < len(retired); i++ {
+		if retired[i] < retired[i-1] {
+			t.Fatalf("cpu.retired not monotonic at epoch %d: %v < %v", i, retired[i], retired[i-1])
+		}
+	}
+	var totalRetired float64
+	for _, cs := range res.Cores {
+		totalRetired += float64(cs.Retired)
+	}
+	if last := retired[len(retired)-1]; last != totalRetired {
+		t.Errorf("final cpu.retired sample = %v, want %v", last, totalRetired)
+	}
+	if wq := s.Series("memctrl.write_queue_depth"); len(wq) != s.Epochs() {
+		t.Errorf("series length %d != epochs %d", len(wq), s.Epochs())
+	}
+
+	// Timestamps advance by exactly one epoch.
+	times := s.Times()
+	for i := 1; i < len(times); i++ {
+		if times[i].Sub(times[i-1]) != cfg.Epoch {
+			t.Fatalf("epoch spacing %v at %d, want %v", times[i].Sub(times[i-1]), i, cfg.Epoch)
+		}
+	}
+}
+
+// Telemetry must be a pure observer: attaching the sampler cannot change
+// a single simulation outcome.
+func TestRunTelemetryIsPassive(t *testing.T) {
+	prof, _ := workload.ProfileByName("canneal")
+	cfg := smallConfig()
+	base, err := Run(prof, tetris.New, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Epoch = 5 * units.Microsecond
+	sampled, err := Run(prof, tetris.New, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Telemetry == nil || sampled.Telemetry.Epochs() == 0 {
+		t.Fatal("sampled run recorded no epochs")
+	}
+	sampled.Telemetry = nil
+	if !reflect.DeepEqual(base, sampled) {
+		t.Errorf("telemetry perturbed the simulation:\nbase    %+v\nsampled %+v", base, sampled)
+	}
+}
+
+func TestRunTraceTelemetryAndCaches(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	recs := trace.Generate(prof, 2, 3, pcm.DefaultParams(), 2000)
+	cfg := Config{InstrBudget: 100_000, Seed: 5, UseCaches: true,
+		Epoch: 10 * units.Microsecond}
+	res, err := RunTrace("vips", recs, 2, schemes.NewDCW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("no telemetry on trace run")
+	}
+	if len(res.Caches) == 0 {
+		t.Fatal("UseCaches set but no cache stats on trace run")
+	}
+	got := countPrefixes(res.Telemetry.SeriesNames())
+	for _, want := range []string{"cpu", "cache", "memctrl", "power", "pcm"} {
+		if got[want] == 0 {
+			t.Errorf("trace run missing %s.* series; have %v", want, got)
+		}
+	}
+}

@@ -7,7 +7,11 @@
 // time, far beyond any experiment here.
 package units
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Time is an absolute simulation timestamp in picoseconds since the start
 // of the simulation.
@@ -62,6 +66,43 @@ func (t Time) String() string { return Duration(t).String() }
 // Nanoseconds builds a Duration from a (possibly fractional) nanosecond
 // count. Fractions below a picosecond are truncated.
 func Nanoseconds(ns float64) Duration { return Duration(ns * float64(Nanosecond)) }
+
+// ParseDuration parses a human-written simulated duration like "10us",
+// "1.5ms", "430ns" or "250000ps". The unit suffix (ps, ns, us, ms, s) is
+// required — a bare number would be ambiguous — and the value must be
+// positive; fractions below a picosecond are truncated. This mirrors
+// time.ParseDuration but for the simulation's picosecond time base (and
+// with sub-nanosecond units the standard library lacks).
+func ParseDuration(s string) (Duration, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	var unit Duration
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		unit, s = Picosecond, strings.TrimSuffix(s, "ps")
+	case strings.HasSuffix(s, "ns"):
+		unit, s = Nanosecond, strings.TrimSuffix(s, "ns")
+	case strings.HasSuffix(s, "us"):
+		unit, s = Microsecond, strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "µs"):
+		unit, s = Microsecond, strings.TrimSuffix(s, "µs")
+	case strings.HasSuffix(s, "ms"):
+		unit, s = Millisecond, strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "s"):
+		unit, s = Second, strings.TrimSuffix(s, "s")
+	default:
+		return 0, fmt.Errorf("units: duration %q needs a unit suffix (ps, ns, us, ms, s)", orig)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad duration %q: %w", orig, err)
+	}
+	d := Duration(v * float64(unit))
+	if d <= 0 {
+		return 0, fmt.Errorf("units: duration %q must be positive", orig)
+	}
+	return d, nil
+}
 
 // Clock converts between cycle counts and simulated time for one clock
 // domain. The zero value is invalid; build clocks with NewClock.

@@ -115,3 +115,49 @@ func TestNextEdgeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+	}{
+		{"10us", 10 * Microsecond},
+		{"1.5ms", 1500 * Microsecond},
+		{"430ns", 430 * Nanosecond},
+		{"53ns", 53 * Nanosecond},
+		{"250000ps", 250 * Nanosecond},
+		{"2s", 2 * Second},
+		{"0.5us", 500 * Nanosecond},
+		{" 7us ", 7 * Microsecond},
+		{"3µs", 3 * Microsecond},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDuration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "10", "us", "-10us", "0us", "10xs", "ten us", "1e999ms"} {
+		if d, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) = %v, want error", bad, d)
+		}
+	}
+}
+
+// Round-trip: anything Duration.String prints for exact-unit values parses
+// back to the same duration.
+func TestParseDurationRoundTrip(t *testing.T) {
+	for _, d := range []Duration{430 * Nanosecond, 10 * Microsecond, 2 * Second, 53 * Nanosecond} {
+		got, err := ParseDuration(d.String())
+		if err != nil {
+			t.Fatalf("ParseDuration(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Errorf("round trip %v -> %q -> %v", d, d.String(), got)
+		}
+	}
+}

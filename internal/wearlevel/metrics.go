@@ -1,0 +1,18 @@
+package wearlevel
+
+import "tetriswrite/internal/telemetry"
+
+// RegisterMetrics exposes Start-Gap activity under wearlevel.*: the gap
+// rotation rate and the extra write traffic it injects — the endurance
+// cost that end-of-run summaries hide when it bursts.
+func (r *Remapper) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("wearlevel.gap_moves", "Start-Gap rotations performed", func() float64 {
+		return float64(r.stats.GapMoves)
+	})
+	reg.CounterFunc("wearlevel.copy_bytes", "bytes copied by gap moves", func() float64 {
+		return float64(r.stats.CopyBytes)
+	})
+	reg.CounterFunc("wearlevel.writes", "writes translated through the region", func() float64 {
+		return float64(r.stats.Writes)
+	})
+}
