@@ -13,13 +13,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"tetriswrite/internal/fault"
+	"tetriswrite/internal/guard"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
@@ -43,7 +47,9 @@ var factories = map[string]schemes.Factory{
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "pcmsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -51,7 +57,7 @@ func main() {
 
 // run executes one simulation with the given arguments; separated from
 // main for testability.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pcmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -74,6 +80,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		transient  = fs.Float64("transient-rate", 0, "per-pulse transient write-failure probability in [0,1)")
 		verifyN    = fs.Int("verify-retries", 0, "re-pulse budget before a failed write escalates to a hard error (default 3)")
 		spareLines = fs.Int("spare", 0, "lines reserved as spares for hard-error remapping (default 64 when faults are on)")
+
+		runTO      = fs.Duration("run-timeout", 0, "wall-clock limit for the simulation, e.g. 5m (0 = none)")
+		maxEvents  = fs.Uint64("max-events", 0, "abort after this many simulation events (0 = unlimited)")
+		maxSimStr  = fs.String("max-simtime", "", "abort past this much simulated time, e.g. 100us (empty = unlimited)")
+		guardOn    = fs.Bool("guard", false, "enable the runtime invariant guard (power, coverage, queues, clock)")
+		deepChecks = fs.Bool("deep-checks", false, "with -guard, replay every plan on a shadow cell array (exhaustive)")
 
 		useCaches  = fs.Bool("caches", false, "interpose the Table II cache hierarchy between cores and memory")
 		epochStr   = fs.String("epoch", "", "telemetry sampling interval, e.g. 10us (off when empty)")
@@ -102,11 +114,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-spare %d: spare line count cannot be negative", *spareLines)
 	}
 
+	if *deepChecks && !*guardOn {
+		return fmt.Errorf("-deep-checks needs -guard")
+	}
+	if *runTO < 0 {
+		return fmt.Errorf("-run-timeout %v: cannot be negative", *runTO)
+	}
+
 	var epoch units.Duration
 	if *epochStr != "" {
 		var perr error
 		if epoch, perr = units.ParseDuration(*epochStr); perr != nil {
 			return fmt.Errorf("-epoch: %w", perr)
+		}
+	}
+	var maxSim units.Duration
+	if *maxSimStr != "" {
+		var perr error
+		if maxSim, perr = units.ParseDuration(*maxSimStr); perr != nil {
+			return fmt.Errorf("-max-simtime: %w", perr)
 		}
 	}
 	if *metricsOut != "" && epoch == 0 {
@@ -170,13 +196,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		SpareLines:  *spareLines,
 		UseCaches:   *useCaches,
 		Epoch:       epoch,
+		Guard:       guard.Config{Enabled: *guardOn, DeepChecks: *deepChecks},
+		MaxEvents:   *maxEvents,
+		MaxSimTime:  maxSim,
 	}
 
+	if *runTO > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runTO)
+		defer cancel()
+	}
 	var res system.Result
 	if *traceFile != "" {
-		res, err = replayTraceFile(*traceFile, prof.Name, factory, sysCfg)
+		res, err = replayTraceFile(ctx, *traceFile, prof.Name, factory, sysCfg)
 	} else {
-		res, err = system.Run(prof, factory, sysCfg)
+		res, err = system.RunCtx(ctx, prof, factory, sysCfg)
 	}
 	if err != nil {
 		return err
@@ -196,22 +230,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // replayTraceFile loads a trace file and replays it through the platform.
-func replayTraceFile(path, label string, factory schemes.Factory, cfg system.Config) (system.Result, error) {
+func replayTraceFile(ctx context.Context, path, label string, factory schemes.Factory, cfg system.Config) (system.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return system.Result{}, err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
+	hdr, recs, err := trace.Parse(f)
 	if err != nil {
-		return system.Result{}, err
+		return system.Result{}, fmt.Errorf("%s: %w", path, err)
 	}
-	recs, err := r.ReadAll()
-	if err != nil {
-		return system.Result{}, err
+	if int(hdr.LineBytes) != cfg.Params.LineBytes {
+		return system.Result{}, fmt.Errorf("%s: trace line size %d B does not match configured -line %d B",
+			path, hdr.LineBytes, cfg.Params.LineBytes)
 	}
 	cfg.Cores = 0 // the trace header, not the flag, decides the core count
-	return system.RunTrace(label, recs, int(r.Header().Cores), factory, cfg)
+	return system.RunTraceCtx(ctx, label, recs, int(hdr.Cores), factory, cfg)
 }
 
 func printResult(w io.Writer, res system.Result, par pcm.Params) {
@@ -241,6 +275,10 @@ func printResult(w io.Writer, res system.Result, par pcm.Params) {
 				res.Spare.RemappedLines, res.Spare.SparesLeft, res.Spare.Exhausted)
 		}
 		fmt.Fprintf(w, "verify time    %v total bank time\n", res.Ctrl.VerifyOverhead)
+	}
+	if g := res.Guard; g != nil {
+		fmt.Fprintf(w, "guard          %d write plans, %d preset plans, %d queue checks, %d deep replays\n",
+			g.WritePlans, g.PresetPlans, g.QueueChecks, g.DeepReplays)
 	}
 	if s := res.Telemetry; s != nil {
 		fmt.Fprintf(w, "telemetry      %d epochs of %v, %d series",

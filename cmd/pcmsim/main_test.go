@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,7 +15,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-workload", "canneal", "-scheme", "tetris", "-instr", "30000"}, &out, &errb)
+	err := run(context.Background(), []string{"-workload", "canneal", "-scheme", "tetris", "-instr", "30000"}, &out, &errb)
 	if err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
 	}
@@ -49,12 +50,12 @@ func TestRunFlagsValidation(t *testing.T) {
 		{"-fault-seed", "7", "-spare", "32"}, // several orphans at once
 	}
 	for _, args := range cases {
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(context.Background(), args, &out, &errb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
 	// The orphan message names the offending flags.
-	err := run([]string{"-fault-seed", "7", "-spare", "32"}, &out, &errb)
+	err := run(context.Background(), []string{"-fault-seed", "7", "-spare", "32"}, &out, &errb)
 	if err == nil || !strings.Contains(err.Error(), "-fault-seed") || !strings.Contains(err.Error(), "-spare") {
 		t.Errorf("orphan fault flags error unhelpful: %v", err)
 	}
@@ -67,7 +68,7 @@ func TestRunWithFaultFlags(t *testing.T) {
 		"-endurance", "3", "-endurance-cv", "0.25", "-transient-rate", "0.002",
 		"-fault-seed", "7", "-verify-retries", "4", "-spare", "32"}
 	var out1, out2, errb bytes.Buffer
-	if err := run(args, &out1, &errb); err != nil {
+	if err := run(context.Background(), args, &out1, &errb); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
 	}
 	for _, want := range []string{"faults", "wear-out", "sparing", "verify time"} {
@@ -75,7 +76,7 @@ func TestRunWithFaultFlags(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out1.String())
 		}
 	}
-	if err := run(args, &out2, &errb); err != nil {
+	if err := run(context.Background(), args, &out2, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if out1.String() != out2.String() {
@@ -83,7 +84,7 @@ func TestRunWithFaultFlags(t *testing.T) {
 	}
 	// A transient-only run needs no -endurance and still verifies.
 	var out3 bytes.Buffer
-	if err := run([]string{"-workload", "vips", "-instr", "30000",
+	if err := run(context.Background(), []string{"-workload", "vips", "-instr", "30000",
 		"-transient-rate", "0.01"}, &out3, &errb); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestRunWithFaultFlags(t *testing.T) {
 
 func TestRunWithSubarraysAndPausing(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-workload", "vips", "-scheme", "dcw", "-instr", "30000",
+	err := run(context.Background(), []string{"-workload", "vips", "-scheme", "dcw", "-instr", "30000",
 		"-subarrays", "4", "-pausing"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +114,7 @@ func TestRunTraceReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errb bytes.Buffer
-	err := run([]string{"-workload", "ferret", "-scheme", "3stage", "-instr", "50000",
+	err := run(context.Background(), []string{"-workload", "ferret", "-scheme", "3stage", "-instr", "50000",
 		"-trace", path}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +123,7 @@ func TestRunTraceReplay(t *testing.T) {
 		t.Errorf("trace replay output wrong:\n%s", out.String())
 	}
 	// Missing file errors cleanly.
-	if err := run([]string{"-trace", filepath.Join(dir, "nope")}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-trace", filepath.Join(dir, "nope")}, &out, &errb); err == nil {
 		t.Error("missing trace file accepted")
 	}
 }
@@ -156,3 +157,76 @@ func emitTrace(f *os.File) error {
 }
 
 func pcmDefaultForTest() pcm.Params { return pcm.DefaultParams() }
+
+// TestRunWithGuard: -guard validates the run and reports its counters
+// without changing any simulation result.
+func TestRunWithGuard(t *testing.T) {
+	args := []string{"-workload", "vips", "-scheme", "tetris", "-instr", "30000"}
+	var plain, guarded, errb bytes.Buffer
+	if err := run(context.Background(), args, &plain, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append(args, "-guard", "-deep-checks"), &guarded, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(guarded.String(), "guard") {
+		t.Errorf("guarded run missing guard counters:\n%s", guarded.String())
+	}
+	// Minus its own counter line, the guarded report is byte-identical:
+	// the guard observes, it never perturbs.
+	var kept []string
+	for _, line := range strings.Split(guarded.String(), "\n") {
+		if strings.HasPrefix(line, "guard ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if got := strings.Join(kept, "\n"); got != plain.String() {
+		t.Errorf("guard changed the report:\nplain:\n%s\nguarded:\n%s", plain.String(), guarded.String())
+	}
+}
+
+func TestRunGuardFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), []string{"-deep-checks"}, &out, &errb); err == nil {
+		t.Error("-deep-checks without -guard accepted")
+	}
+	if err := run(context.Background(), []string{"-run-timeout", "-1s"}, &out, &errb); err == nil {
+		t.Error("negative -run-timeout accepted")
+	}
+	if err := run(context.Background(), []string{"-max-simtime", "bogus"}, &out, &errb); err == nil {
+		t.Error("unparseable -max-simtime accepted")
+	}
+}
+
+// TestRunMaxEventsBudget: an absurdly small event budget aborts the run
+// with a budget error that names the limit.
+func TestRunMaxEventsBudget(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{"-workload", "vips", "-instr", "50000",
+		"-max-events", "100"}, &out, &errb)
+	if err == nil {
+		t.Fatal("run under a 100-event budget succeeded")
+	}
+	if !strings.Contains(err.Error(), "event budget") && !strings.Contains(err.Error(), "100") {
+		t.Errorf("budget error unhelpful: %v", err)
+	}
+}
+
+// TestRunTraceLineSizeMismatch: replaying a trace against a platform
+// with a different line size is refused up front, naming both sizes.
+func TestRunTraceLineSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	if err := writeTestTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{"-trace", path, "-line", "128"}, &out, &errb)
+	if err == nil {
+		t.Fatal("line-size mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "64") || !strings.Contains(err.Error(), "128") {
+		t.Errorf("mismatch error does not name both sizes: %v", err)
+	}
+}

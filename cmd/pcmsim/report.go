@@ -32,7 +32,15 @@ type jsonReport struct {
 	BitResets      int64 `json:"bit_resets"`
 
 	Fault *jsonFault     `json:"fault,omitempty"`
+	Guard *jsonGuard     `json:"guard,omitempty"`
 	Tele  *jsonTelemetry `json:"telemetry,omitempty"`
+}
+
+type jsonGuard struct {
+	WritePlans  int64 `json:"write_plans"`
+	PresetPlans int64 `json:"preset_plans"`
+	QueueChecks int64 `json:"queue_checks"`
+	DeepReplays int64 `json:"deep_replays,omitempty"`
 }
 
 type jsonFault struct {
@@ -85,6 +93,14 @@ func printJSON(w io.Writer, res system.Result, par pcm.Params) error {
 		if res.Spare != nil {
 			rep.Fault.RemappedLines = res.Spare.RemappedLines
 			rep.Fault.SparesLeft = res.Spare.SparesLeft
+		}
+	}
+	if g := res.Guard; g != nil {
+		rep.Guard = &jsonGuard{
+			WritePlans:  g.WritePlans,
+			PresetPlans: g.PresetPlans,
+			QueueChecks: g.QueueChecks,
+			DeepReplays: g.DeepReplays,
 		}
 	}
 	if s := res.Telemetry; s != nil {

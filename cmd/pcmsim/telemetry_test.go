@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,7 +32,7 @@ type epochRecord struct {
 func TestTelemetryGoldenSchema(t *testing.T) {
 	outDir := t.TempDir()
 	var out, errb bytes.Buffer
-	err := run([]string{"-workload", "vips", "-scheme", "tetris",
+	err := run(context.Background(), []string{"-workload", "vips", "-scheme", "tetris",
 		"-trace", filepath.Join("testdata", "small.trace"),
 		"-caches", "-epoch", "10us", "-metrics-out", outDir, "-json"}, &out, &errb)
 	if err != nil {
@@ -162,10 +163,10 @@ func TestTelemetryGoldenSchema(t *testing.T) {
 func TestNoTelemetryFlagsOutputUnchanged(t *testing.T) {
 	args := []string{"-workload", "canneal", "-scheme", "dcw", "-instr", "30000"}
 	var a, b, errb bytes.Buffer
-	if err := run(args, &a, &errb); err != nil {
+	if err := run(context.Background(), args, &a, &errb); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append(args, "-epoch", "10us"), &b, &errb); err != nil {
+	if err := run(context.Background(), append(args, "-epoch", "10us"), &b, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(a.String(), "telemetry") {
@@ -192,7 +193,7 @@ func TestTelemetryFlagValidation(t *testing.T) {
 		{"-metrics-out", "x"}, // needs -epoch
 	}
 	for _, args := range cases {
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(context.Background(), args, &out, &errb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

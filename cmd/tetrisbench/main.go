@@ -10,15 +10,22 @@
 //
 // Scale knobs: -writes (chip-level experiments), -instr (per-core
 // instruction budget of the full-system experiments), -cores, -seed.
+// Supervision knobs: -parallel (concurrent full-system runs; any value
+// produces bit-identical tables), -run-timeout (wall-clock limit per
+// run). Ctrl-C stops the sweep gracefully: completed cells are rendered
+// as partial tables before exiting nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"tetriswrite/internal/exp"
@@ -29,7 +36,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "tetrisbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -37,7 +46,7 @@ func main() {
 
 // run executes the harness with the given arguments; separated from main
 // for testability.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tetrisbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -49,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cores  = fs.Int("cores", 4, "number of cores")
 		seed   = fs.Int64("seed", 1, "workload seed")
 		seq    = fs.Bool("sequential", false, "disable parallel simulation")
+		par    = fs.Int("parallel", 0, "concurrent full-system simulations (0 = all CPUs; tables are bit-identical at any value)")
+		runTO  = fs.Duration("run-timeout", 0, "wall-clock limit per full-system simulation, e.g. 5m (0 = none)")
 		energy = fs.Bool("energy", false, "also print the energy-per-write table with the full-system figures")
 		sweep  = fs.String("sweep", "", "extra sweep beyond the paper: 'line' (64/128/256 B) or 'budget' (32..4)")
 		endur  = fs.Bool("endurance", false, "also run the endurance (wear leveling) table")
@@ -69,12 +80,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *par < 0 {
+		return fmt.Errorf("-parallel %d: worker count cannot be negative", *par)
+	}
+	if *runTO < 0 {
+		return fmt.Errorf("-run-timeout %v: cannot be negative", *runTO)
+	}
 	opt := exp.Options{
 		Writes:      *writes,
 		InstrBudget: *instr,
 		Cores:       *cores,
 		Seed:        *seed,
 		Sequential:  *seq,
+		Parallel:    *par,
+		RunTimeout:  *runTO,
 	}
 	if *epochStr != "" {
 		epoch, err := units.ParseDuration(*epochStr)
@@ -130,12 +149,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if opt.Epoch > 0 && !needFull {
 		return fmt.Errorf("-epoch only applies to the full-system figures; add -all or -fig 11..14")
 	}
+	// sweepErr carries an interrupted or partially failed sweep: the
+	// tables render with whatever cells completed and the process still
+	// exits nonzero.
 	var fr *exp.FullResults
+	var sweepErr error
 	if needFull {
-		var err error
-		fr, err = exp.RunFullSystem(opt)
-		if err != nil {
-			return err
+		fr, sweepErr = exp.RunFullSystemCtx(ctx, opt)
+		if sweepErr != nil {
+			total := len(fr.Profiles) * len(fr.Schemes)
+			done := total - fr.Failed()
+			if done == 0 {
+				return sweepErr
+			}
+			fmt.Fprintf(stderr, "tetrisbench: sweep incomplete (%d of %d cells finished): %v\n",
+				done, total, sweepErr)
+			fmt.Fprintf(stderr, "tetrisbench: rendering partial tables from the completed cells\n")
 		}
 	}
 
@@ -214,21 +243,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		render(exp.LineSizeSweep(opt))
 		render(exp.BudgetSweep(opt))
 	}
-	if *endur || *all {
+	if (*endur || *all) && ctx.Err() == nil {
 		tb, err := exp.EnduranceTable(opt)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, tb)
 	}
-	if *faults || *all {
+	if (*faults || *all) && ctx.Err() == nil {
 		tb, err := exp.FaultToleranceTable(opt)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, tb)
 	}
-	return nil
+	return sweepErr
 }
 
 // writeBenchArtifact measures the perf trajectory and writes it to

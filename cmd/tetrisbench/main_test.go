@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 
 func TestRunSingleFigure(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-fig", "10", "-writes", "100"}, &out, &errb)
+	err := run(context.Background(), []string{"-fig", "10", "-writes", "100"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,14 +26,14 @@ func TestRunSingleFigure(t *testing.T) {
 
 func TestRunTables(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-table", "2"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-table", "2"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Table II") {
 		t.Error("missing Table II")
 	}
 	out.Reset()
-	if err := run([]string{"-table", "3"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-table", "3"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Table III") {
@@ -42,7 +43,7 @@ func TestRunTables(t *testing.T) {
 
 func TestRunFullSystemFigure(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-fig", "13", "-instr", "30000", "-writes", "100"}, &out, &errb)
+	err := run(context.Background(), []string{"-fig", "13", "-instr", "30000", "-writes", "100"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,27 +54,27 @@ func TestRunFullSystemFigure(t *testing.T) {
 
 func TestRunSweep(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-sweep", "budget", "-writes", "50"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-sweep", "budget", "-writes", "50"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Power-budget sweep") {
 		t.Error("missing budget sweep")
 	}
-	if err := run([]string{"-sweep", "bogus"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-sweep", "bogus"}, &out, &errb); err == nil {
 		t.Error("unknown sweep accepted")
 	}
 }
 
 func TestRunNothingToDo(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run(nil, &out, &errb); err == nil {
+	if err := run(context.Background(), nil, &out, &errb); err == nil {
 		t.Error("no-op invocation accepted")
 	}
 }
 
 func TestRunCheck(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-check", "-writes", "300", "-instr", "50000"}, &out, &errb)
+	err := run(context.Background(), []string{"-check", "-writes", "300", "-instr", "50000"}, &out, &errb)
 	if err != nil {
 		t.Fatalf("check failed: %v\n%s", err, out.String())
 	}
@@ -84,35 +85,35 @@ func TestRunCheck(t *testing.T) {
 
 func TestRunSeedsAndFormats(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-seeds", "2", "-instr", "20000", "-writes", "50"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-seeds", "2", "-instr", "20000", "-writes", "50"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "across seeds") {
 		t.Errorf("seed sweep output missing:\n%s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-fig", "10", "-writes", "50", "-csv"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "10", "-writes", "50", "-csv"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "workload,baseline,fnw") {
 		t.Errorf("CSV header missing:\n%s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-fig", "10", "-writes", "50", "-plot"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "10", "-writes", "50", "-plot"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "#") {
 		t.Error("plot output has no bars")
 	}
 	out.Reset()
-	if err := run([]string{"-fig", "11", "-instr", "20000", "-writes", "50", "-tail"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "11", "-instr", "20000", "-writes", "50", "-tail"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "P99 read latency") {
 		t.Error("tail table missing")
 	}
 	out.Reset()
-	if err := run([]string{"-endurance", "-instr", "60000"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-endurance", "-instr", "60000"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Endurance") {
@@ -122,7 +123,7 @@ func TestRunSeedsAndFormats(t *testing.T) {
 
 func TestRunMLC(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-mlc"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-mlc"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "SLC vs MLC") || !strings.Contains(out.String(), "ratio") {
@@ -132,7 +133,7 @@ func TestRunMLC(t *testing.T) {
 
 func TestRunEpochSummary(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-fig", "11", "-instr", "40000", "-epoch", "20us"}, &out, &errb)
+	err := run(context.Background(), []string{"-fig", "11", "-instr", "40000", "-epoch", "20us"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +143,10 @@ func TestRunEpochSummary(t *testing.T) {
 		}
 	}
 	// -epoch needs the full-system figures to have anything to sample.
-	if err := run([]string{"-fig", "10", "-epoch", "20us"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-fig", "10", "-epoch", "20us"}, &out, &errb); err == nil {
 		t.Error("-epoch with a chip-level figure accepted")
 	}
-	if err := run([]string{"-fig", "11", "-epoch", "bogus"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-fig", "11", "-epoch", "bogus"}, &out, &errb); err == nil {
 		t.Error("bad -epoch value accepted")
 	}
 }
@@ -153,7 +154,7 @@ func TestRunEpochSummary(t *testing.T) {
 func TestRunBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	var out, errb bytes.Buffer
-	err := run([]string{"-bench-json", "-bench-dir", dir, "-writes", "200"}, &out, &errb)
+	err := run(context.Background(), []string{"-bench-json", "-bench-dir", dir, "-writes", "200"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,5 +197,47 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	if u := art.Schemes[4].WriteUnits; u <= 0 || u >= 2 {
 		t.Errorf("tetris write units = %v, want in (0, 2)", u)
+	}
+}
+
+// TestParallelMatchesSerialOutput is the CLI-level determinism contract:
+// -parallel 1 and -parallel 4 produce byte-identical tables.
+func TestParallelMatchesSerialOutput(t *testing.T) {
+	args := []string{"-fig", "13", "-instr", "10000", "-writes", "50"}
+	var serial, parallel, errb bytes.Buffer
+	if err := run(context.Background(), append(args, "-parallel", "1"), &serial, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append(args, "-parallel", "4"), &parallel, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-parallel 4 output differs from -parallel 1:\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("no output rendered")
+	}
+}
+
+// TestCancelledSweepRendersPartials: a pre-cancelled context fails the
+// sweep but still reports how many cells finished.
+func TestCancelledSweepRendersPartials(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	err := run(ctx, []string{"-fig", "13", "-instr", "10000", "-writes", "50"}, &out, &errb)
+	if err == nil {
+		t.Fatal("cancelled sweep reported success")
+	}
+}
+
+func TestBadParallelFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "13", "-parallel", "-2"}, &out, &errb); err == nil {
+		t.Fatal("negative -parallel accepted")
+	}
+	if err := run(context.Background(), []string{"-fig", "13", "-run-timeout", "-1s"}, &out, &errb); err == nil {
+		t.Fatal("negative -run-timeout accepted")
 	}
 }

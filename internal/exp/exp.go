@@ -7,11 +7,14 @@
 package exp
 
 import (
+	"context"
 	"runtime"
-	"sync"
+	"time"
 
+	"tetriswrite/internal/guard"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/runner"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/stats"
 	"tetriswrite/internal/system"
@@ -51,13 +54,28 @@ type Options struct {
 	InstrBudget int64
 	Cores       int
 	Seed        int64
-	// Parallel runs full-system simulations on all CPUs (default true;
-	// results are deterministic either way).
+	// Sequential forces full-system simulations to run one at a time
+	// (results are deterministic either way); equivalent to Parallel: 1.
 	Sequential bool
+	// Parallel is the number of concurrent full-system simulations;
+	// 0 means GOMAXPROCS. Every cell owns its seeded state, so any
+	// degree of parallelism produces bit-identical tables.
+	Parallel int
+	// RunTimeout bounds each full-system simulation's wall-clock time;
+	// 0 means unlimited. A timed-out cell is reported in FullResults.Errs
+	// and its partial statistics kept.
+	RunTimeout time.Duration
+	// Retries re-attempts failed cells (simulations are deterministic,
+	// so this only helps with environmental failures; default 0).
+	Retries int
 	// Epoch, when positive, attaches the telemetry sampler to every
 	// full-system run so EpochSummary can report time-series behaviour
 	// per workload and scheme.
 	Epoch units.Duration
+	// Guard threads the runtime invariant checker through every
+	// full-system run; a violation aborts that cell and surfaces in
+	// FullResults.Errs.
+	Guard guard.Config
 }
 
 // Normalize fills defaults.
@@ -230,11 +248,53 @@ type FullResults struct {
 	Profiles []workload.Profile
 	Schemes  []NamedFactory
 	Results  [][]system.Result
+
+	// Errs mirrors Results: a non-nil entry means that cell failed (or
+	// was skipped after a cancellation) and its Results entry holds only
+	// the partial statistics gathered before the abort. All nil on a
+	// clean sweep.
+	Errs [][]error
+}
+
+// Failed counts the cells that did not complete.
+func (fr *FullResults) Failed() int {
+	n := 0
+	for _, row := range fr.Errs {
+		for _, err := range row {
+			if err != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// workers resolves the configured degree of parallelism.
+func (o Options) workers() int {
+	switch {
+	case o.Sequential:
+		return 1
+	case o.Parallel > 0:
+		return o.Parallel
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
 }
 
 // RunFullSystem simulates all 8 workloads under all 5 schemes — the
 // sweep behind Figures 11, 12, 13 and 14.
 func RunFullSystem(opt Options) (*FullResults, error) {
+	return RunFullSystemCtx(context.Background(), opt)
+}
+
+// RunFullSystemCtx runs the sweep under a context through the runner
+// supervisor: cells fan out across Options.workers() workers with
+// per-cell panic isolation, optional retry and wall-clock timeout. On
+// cancellation or per-cell failure the sweep still returns the
+// FullResults holding every completed cell (failures marked in Errs)
+// alongside the first error — callers render partial tables instead of
+// discarding finished work.
+func RunFullSystemCtx(ctx context.Context, opt Options) (*FullResults, error) {
 	opt.Normalize()
 	fr := &FullResults{
 		Options:  opt,
@@ -242,54 +302,54 @@ func RunFullSystem(opt Options) (*FullResults, error) {
 		Schemes:  SchemeSet(),
 	}
 	fr.Results = make([][]system.Result, len(fr.Profiles))
+	fr.Errs = make([][]error, len(fr.Profiles))
 	for i := range fr.Results {
 		fr.Results[i] = make([]system.Result, len(fr.Schemes))
+		fr.Errs[i] = make([]error, len(fr.Schemes))
 	}
-	type job struct{ w, s int }
-	jobs := make(chan job)
-	errs := make(chan error, 1)
-	workers := runtime.NumCPU()
-	if opt.Sequential {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				cfg := system.Config{
-					Params:      opt.Params,
-					Cores:       opt.Cores,
-					InstrBudget: opt.InstrBudget,
-					Seed:        opt.Seed,
-					Ctrl:        memctrl.Config{},
-					Epoch:       opt.Epoch,
-				}
-				res, err := system.Run(fr.Profiles[j.w], fr.Schemes[j.s].Factory, cfg)
-				if err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					return
-				}
-				res.Scheme = fr.Schemes[j.s].Name
-				fr.Results[j.w][j.s] = res
-			}
-		}()
-	}
+	type cell struct{ w, s int }
+	var cells []cell
+	var jobs []runner.Job[system.Result]
 	for w := range fr.Profiles {
 		for s := range fr.Schemes {
-			jobs <- job{w, s}
+			w, s := w, s
+			cells = append(cells, cell{w, s})
+			jobs = append(jobs, runner.Job[system.Result]{
+				Name: fr.Profiles[w].Name + "/" + fr.Schemes[s].Name,
+				Run: func(ctx context.Context) (system.Result, error) {
+					cfg := system.Config{
+						Params:      opt.Params,
+						Cores:       opt.Cores,
+						InstrBudget: opt.InstrBudget,
+						Seed:        opt.Seed,
+						Ctrl:        memctrl.Config{},
+						Epoch:       opt.Epoch,
+						Guard:       opt.Guard,
+					}
+					return system.RunCtx(ctx, fr.Profiles[w], fr.Schemes[s].Factory, cfg)
+				},
+			})
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	results := runner.All(ctx, jobs, runner.Options{
+		Workers:    opt.workers(),
+		JobTimeout: opt.RunTimeout,
+		Retries:    opt.Retries,
+	})
+	for k, r := range results {
+		c := cells[k]
+		res := r.Value
+		res.Scheme = fr.Schemes[c.s].Name
+		if r.Err != nil {
+			// A skipped cell has a zero Result; keep its paper-order
+			// labels so partial tables stay well-formed.
+			res.Workload = fr.Profiles[c.w].Name
+			fr.Errs[c.w][c.s] = r.Err
+		}
+		fr.Results[c.w][c.s] = res
+	}
+	if err := runner.FirstErr(results); err != nil {
+		return fr, err
 	}
 	return fr, nil
 }

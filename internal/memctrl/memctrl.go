@@ -11,6 +11,7 @@ package memctrl
 import (
 	"fmt"
 
+	"tetriswrite/internal/guard"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/sim"
@@ -187,6 +188,11 @@ type Controller struct {
 	// non-comparing schemes wear cells even when the value is unchanged).
 	wear *pcm.WearTracker
 
+	// guard, when attached, validates the runtime invariants (power
+	// budget, pulse coverage, queue bounds, clock monotonicity) on every
+	// issued plan and submission. A nil guard costs nothing.
+	guard *guard.Guard
+
 	// onHardError, when set, receives every write the verify loop gave
 	// up on: the physical line and the data that should have landed. The
 	// spare remapper (fault.SpareRemapper) registers here to redirect the
@@ -196,6 +202,15 @@ type Controller struct {
 
 // SetWearTracker attaches per-line pulse accounting.
 func (c *Controller) SetWearTracker(w *pcm.WearTracker) { c.wear = w }
+
+// SetGuard attaches the runtime invariant checker. Checks only read
+// state, so an attached guard never changes simulated behaviour.
+func (c *Controller) SetGuard(g *guard.Guard) { c.guard = g }
+
+// guardQueues reports the current queue occupancies to the guard.
+func (c *Controller) guardQueues() {
+	c.guard.CheckQueues(c.eng.Now(), len(c.readQ), len(c.writeQ), c.cfg.ReadQueue, c.cfg.WriteQueue)
+}
 
 // SetHardErrorHandler registers the escalation callback of the verify
 // loop. The handler runs in the engine goroutine, before the failed
@@ -286,6 +301,7 @@ func (c *Controller) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, da
 		onDone(at, buf)
 	}
 	c.readQ = append(c.readQ, req)
+	c.guardQueues()
 	c.schedule()
 	return true
 }
@@ -345,6 +361,7 @@ func (c *Controller) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at 
 		req.onDone = onDone
 	}
 	c.writeQ = append(c.writeQ, req)
+	c.guardQueues()
 	if len(c.writeQ) >= c.cfg.WriteQueue {
 		// Queue just filled: enter drain mode.
 		if !c.draining {
@@ -491,6 +508,7 @@ func (c *Controller) startWrite(b *bank, req *request) {
 	old := make([]byte, c.par.LineBytes)
 	c.dev.PeekLine(req.addr, old)
 	plan := b.scheme.PlanWrite(req.addr, old, req.data)
+	c.guard.CheckWritePlan(c.eng.Now(), req.addr, old, req.data, plan)
 	sets, resets := plan.Counts()
 	c.stats.BitSets += int64(sets)
 	c.stats.BitResets += int64(resets)
@@ -719,6 +737,7 @@ func (c *Controller) popBlockedReadFor(b *bank) *request {
 // finish completes a request: latency accounting, callback, rescheduling.
 // The caller has already released the bank resource the request held.
 func (c *Controller) finish(req *request, at units.Time) {
+	c.guard.CheckClock(at)
 	lat := at.Sub(req.enqueued)
 	if req.write {
 		c.stats.WriteLatency.Add(lat)
@@ -787,6 +806,7 @@ func (c *Controller) tryPreset(b *bank) bool {
 		old := make([]byte, c.par.LineBytes)
 		c.dev.PeekLine(addr, old)
 		plan := ps.PlanPreset(addr, old)
+		c.guard.CheckPresetPlan(c.eng.Now(), addr, old, plan)
 		sets, resets := plan.Counts()
 		c.stats.BitSets += int64(sets)
 		c.stats.BitResets += int64(resets)

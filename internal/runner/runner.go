@@ -1,0 +1,190 @@
+// Package runner is the experiment supervisor: a bounded worker pool
+// that fans independent jobs (full-system simulation cells, benchmark
+// points) across CPUs with the failure handling a long unattended sweep
+// needs — per-job panic isolation, retry with backoff, per-attempt
+// wall-clock timeouts, and graceful partial-result aggregation when the
+// caller cancels.
+//
+// Results are positionally aligned with the submitted jobs, so a sweep
+// filled in parallel is indistinguishable from one filled serially:
+// every job owns its inputs (seeds, configs) and the pool imposes no
+// ordering of its own. That is what lets tetrisbench promise bit-
+// identical tables for -parallel 1 and -parallel N.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrSkipped marks a job that never ran because the supervisor was
+// cancelled first. Its Result.Value is the zero value.
+var ErrSkipped = errors.New("runner: job skipped")
+
+// Job is one unit of work. Run receives a context derived from the
+// supervisor's (with the per-job timeout applied, when configured) and
+// should return promptly once it is cancelled.
+type Job[T any] struct {
+	Name string
+	Run  func(ctx context.Context) (T, error)
+}
+
+// Result is one job's outcome, at the same index as its job.
+type Result[T any] struct {
+	Name     string
+	Value    T     // also set on failure when Run returned a partial value
+	Err      error // nil on success; ErrSkipped if the job never ran
+	Attempts int   // 1 + retries consumed (0 when skipped)
+}
+
+// PanicError is a panic recovered from a job's Run — the pool converts
+// it to an error so one crashing cell cannot take down the sweep.
+type PanicError struct {
+	Job   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %s panicked: %v", e.Job, e.Value)
+}
+
+// Options configure a pool.
+type Options struct {
+	// Workers is the number of concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// JobTimeout bounds each attempt's wall-clock time; 0 means none.
+	JobTimeout time.Duration
+	// Retries is how many extra attempts a failed job gets (default 0).
+	// Context cancellation is never retried.
+	Retries int
+	// Backoff is the wait before the first retry, doubling per attempt;
+	// 0 with Retries > 0 defaults to 100ms. The wait aborts immediately
+	// on cancellation.
+	Backoff time.Duration
+	// OnDone, when non-nil, is called after each job settles (from
+	// worker goroutines; the callback must be safe for concurrent use).
+	OnDone func(done, total int, name string, err error)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) backoff() time.Duration {
+	if o.Backoff > 0 {
+		return o.Backoff
+	}
+	return 100 * time.Millisecond
+}
+
+// All runs every job and returns their results, index-aligned with
+// jobs. It blocks until each job has either settled or been marked
+// skipped; when ctx is cancelled, running jobs see it through their
+// derived contexts and unstarted jobs settle as ErrSkipped, so the
+// caller always gets back whatever completed — partial results instead
+// of nothing.
+func All[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
+	results := make([]Result[T], len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	settle := func(i int, r Result[T]) {
+		results[i] = r
+		if opt.OnDone != nil {
+			mu.Lock()
+			done++
+			d := done
+			mu.Unlock()
+			opt.OnDone(d, len(jobs), r.Name, r.Err)
+		}
+	}
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					settle(i, Result[T]{Name: jobs[i].Name,
+						Err: fmt.Errorf("%w: %w", ErrSkipped, err)})
+					continue
+				}
+				settle(i, runJob(ctx, jobs[i], opt))
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runJob drives one job through its attempts.
+func runJob[T any](ctx context.Context, job Job[T], opt Options) Result[T] {
+	res := Result[T]{Name: job.Name}
+	backoff := opt.backoff()
+	for attempt := 0; ; attempt++ {
+		res.Attempts = attempt + 1
+		res.Value, res.Err = runAttempt(ctx, job, opt.JobTimeout)
+		if res.Err == nil || attempt >= opt.Retries || ctx.Err() != nil {
+			return res
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return res
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+}
+
+// runAttempt executes one attempt with the timeout applied and panics
+// converted to errors.
+func runAttempt[T any](ctx context.Context, job Job[T], timeout time.Duration) (v T, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Job: job.Name, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return job.Run(ctx)
+}
+
+// FirstErr returns the first failed result's error (with the job name
+// attached), or nil when every job succeeded.
+func FirstErr[T any](results []Result[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}
+
+// Failed counts the results that carry an error.
+func Failed[T any](results []Result[T]) int {
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAllRunsEveryJobPositionally(t *testing.T) {
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("job-%d", i),
+			Run:  func(context.Context) (int, error) { return i * i, nil },
+		}
+	}
+	results := All(context.Background(), jobs, Options{Workers: 4})
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Value != i*i || r.Name != jobs[i].Name || r.Attempts != 1 {
+			t.Errorf("result %d = %+v", i, r)
+		}
+	}
+	if err := FirstErr(results); err != nil {
+		t.Errorf("FirstErr = %v", err)
+	}
+	if Failed(results) != 0 {
+		t.Error("spurious failures counted")
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	jobs := []Job[string]{
+		{Name: "ok", Run: func(context.Context) (string, error) { return "fine", nil }},
+		{Name: "boom", Run: func(context.Context) (string, error) { panic("kaboom") }},
+		{Name: "also-ok", Run: func(context.Context) (string, error) { return "fine too", nil }},
+	}
+	results := All(context.Background(), jobs, Options{Workers: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatal("healthy jobs infected by the panicking one")
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", results[1].Err, results[1].Err)
+	}
+	if pe.Job != "boom" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Errorf("panic error incomplete: %+v", pe)
+	}
+	if Failed(results) != 1 {
+		t.Errorf("Failed = %d, want 1", Failed(results))
+	}
+}
+
+func TestRetryWithBackoff(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job[int]{{
+		Name: "flaky",
+		Run: func(context.Context) (int, error) {
+			if calls.Add(1) < 3 {
+				return 0, errors.New("transient")
+			}
+			return 7, nil
+		},
+	}}
+	results := All(context.Background(), jobs, Options{Retries: 3, Backoff: time.Millisecond})
+	if results[0].Err != nil || results[0].Value != 7 {
+		t.Fatalf("flaky job did not recover: %+v", results[0])
+	}
+	if results[0].Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", results[0].Attempts)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	sentinel := errors.New("permanent")
+	jobs := []Job[int]{{Name: "dead", Run: func(context.Context) (int, error) { return 0, sentinel }}}
+	results := All(context.Background(), jobs, Options{Retries: 2, Backoff: time.Millisecond})
+	if !errors.Is(results[0].Err, sentinel) || results[0].Attempts != 3 {
+		t.Fatalf("result = %+v, want sentinel after 3 attempts", results[0])
+	}
+}
+
+// TestCancelSkipsPendingKeepsDone: with one worker and a cancel fired by
+// the second job, the jobs after it settle as ErrSkipped while the
+// completed first job's result survives — partial aggregation.
+func TestCancelSkipsPendingKeepsDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := []Job[int]{
+		{Name: "first", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Name: "trigger", Run: func(context.Context) (int, error) { cancel(); return 2, nil }},
+		{Name: "late", Run: func(context.Context) (int, error) { return 3, nil }},
+		{Name: "later", Run: func(context.Context) (int, error) { return 4, nil }},
+	}
+	results := All(ctx, jobs, Options{Workers: 1})
+	if results[0].Err != nil || results[0].Value != 1 {
+		t.Errorf("completed result lost: %+v", results[0])
+	}
+	for _, r := range results[2:] {
+		if !errors.Is(r.Err, ErrSkipped) || !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("pending job not skipped: %+v", r)
+		}
+		if r.Attempts != 0 {
+			t.Errorf("skipped job ran: %+v", r)
+		}
+	}
+}
+
+// TestCancellationNotRetried: a job failing because the supervisor was
+// cancelled is not retried.
+func TestCancellationNotRetried(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int32
+	jobs := []Job[int]{{
+		Name: "cancelled",
+		Run: func(ctx context.Context) (int, error) {
+			calls.Add(1)
+			cancel()
+			return 0, ctx.Err()
+		},
+	}}
+	results := All(ctx, jobs, Options{Retries: 5, Backoff: time.Millisecond})
+	if calls.Load() != 1 {
+		t.Errorf("cancelled job attempted %d times, want 1", calls.Load())
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Errorf("err = %v", results[0].Err)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	jobs := []Job[int]{{
+		Name: "slow",
+		Run: func(ctx context.Context) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(10 * time.Second):
+				return 1, nil
+			}
+		},
+	}}
+	start := time.Now()
+	results := All(context.Background(), jobs, Options{JobTimeout: 20 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout did not bound the job (%v elapsed)", elapsed)
+	}
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", results[0].Err)
+	}
+}
+
+func TestOnDoneProgress(t *testing.T) {
+	var done atomic.Int32
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = Job[int]{Name: "j", Run: func(context.Context) (int, error) { return 0, nil }}
+	}
+	All(context.Background(), jobs, Options{Workers: 3, OnDone: func(d, total int, name string, err error) {
+		done.Add(1)
+		if total != 8 {
+			t.Errorf("total = %d", total)
+		}
+	}})
+	if done.Load() != 8 {
+		t.Errorf("OnDone fired %d times, want 8", done.Load())
+	}
+}

@@ -85,6 +85,29 @@ func (a *Array) Logical(addr pcm.LineAddr) []byte {
 	return out
 }
 
+// SyncLogical re-derives one line's stored data bits from its logical
+// contents under the line's current flip tags, leaving the tags
+// untouched. The runtime invariant guard uses it to re-anchor its shadow
+// array to the device's actual stored contents — which can drift from
+// the pulse-train model under fault injection — before replaying the
+// next plan: the scheme plans from the device's real old image, so the
+// oracle must start there too.
+func (a *Array) SyncLogical(addr pcm.LineAddr, logical []byte) {
+	l := a.line(addr)
+	mask := bitutil.WidthMask(a.par.ChipWidthBits)
+	wb := a.par.ChipWidthBits / 8
+	for u := 0; u < a.par.DataUnits(); u++ {
+		for c := 0; c < a.par.NumChips; c++ {
+			i := a.idx(c, u)
+			w := bitutil.ChipSlice(logical, a.par.NumChips, wb, c, u)
+			if l.flips[i] {
+				w = ^w & mask
+			}
+			l.bits[i] = w
+		}
+	}
+}
+
 // Encoded returns the raw stored bits and flip cell of one (chip, unit).
 func (a *Array) Encoded(addr pcm.LineAddr, c, u int) (bits uint16, flip bool) {
 	l := a.line(addr)

@@ -41,10 +41,11 @@ func (h *eventHeap) Pop() any {
 // Engines are single-threaded: all scheduling must happen from event
 // callbacks or before Run.
 type Engine struct {
-	pq     eventHeap
-	now    units.Time
-	seq    uint64
-	events uint64
+	pq      eventHeap
+	now     units.Time
+	seq     uint64
+	events  uint64
+	stopErr error // set by Stop; halts Run/RunContext at the next boundary
 }
 
 // Now returns the current simulated time.
@@ -88,9 +89,10 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains.
+// Run executes events until the queue drains, or until Stop is called
+// (RunContext additionally supports cancellation and budgets).
 func (e *Engine) Run() {
-	for e.Step() {
+	for e.stopErr == nil && e.Step() {
 	}
 }
 

@@ -5,14 +5,28 @@
 // metrics every figure of the evaluation is built from: average read and
 // write latency, per-write write units, IPC, and application running
 // time.
+//
+// Runs are hardened: RunCtx and RunTraceCtx accept a context and a
+// watchdog budget (MaxEvents, MaxSimTime) so a livelocked scheduler
+// terminates diagnosably instead of hanging the caller; panics escaping
+// the simulation are converted to *PanicError carrying the run
+// fingerprint; and Config.Guard threads a runtime invariant checker
+// through the controller. An aborted run still returns the partial
+// Result gathered so far alongside its error, with the telemetry
+// sampler finalized so in-progress epochs are exported rather than
+// lost.
 package system
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"tetriswrite/internal/cache"
 	"tetriswrite/internal/cpu"
 	"tetriswrite/internal/fault"
+	"tetriswrite/internal/guard"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
@@ -69,6 +83,24 @@ type Config struct {
 	// MetricsRing caps the number of retained epochs (oldest evicted
 	// first); 0 means telemetry.DefaultRingSize.
 	MetricsRing int
+
+	// Guard configures the runtime invariant checker threaded through
+	// the memory controller: per issued write unit it validates power
+	// budget, pulse coverage, queue bounds and clock monotonicity. The
+	// first violation stops the engine and the run returns the
+	// *guard.ViolationError. Checks only read state, so a guarded run is
+	// bit-identical to an unguarded one.
+	Guard guard.Config
+
+	// MaxEvents and MaxSimTime bound the engine run (see sim.Watchdog):
+	// 0 means unlimited. When a budget trips, the run returns a
+	// *RunError wrapping the *sim.BudgetError together with the partial
+	// Result gathered so far.
+	MaxEvents  uint64
+	MaxSimTime units.Duration
+	// Heartbeat, when non-nil, receives watchdog progress reports —
+	// the liveness signal of a long run.
+	Heartbeat func(sim.Progress)
 }
 
 // Normalize fills defaults in place.
@@ -88,6 +120,11 @@ func (c *Config) Normalize() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+}
+
+// watchdog builds the engine watchdog from the config budgets.
+func (c *Config) watchdog() sim.Watchdog {
+	return sim.Watchdog{MaxEvents: c.MaxEvents, MaxSimTime: c.MaxSimTime, Heartbeat: c.Heartbeat}
 }
 
 // Result is the outcome of one simulation.
@@ -121,6 +158,145 @@ type Result struct {
 	// Telemetry holds the epoch time series recorded during the run; nil
 	// unless Config.Epoch was set.
 	Telemetry *telemetry.Sampler
+
+	// Guard counts the invariant checks performed; nil unless
+	// Config.Guard was enabled.
+	Guard *guard.Stats
+}
+
+// RunError wraps the error that aborted a run — cancellation, a tripped
+// watchdog budget, or an engine Stop — with the fingerprint that
+// reproduces it. The Result returned alongside holds the statistics
+// gathered up to the abort.
+type RunError struct {
+	Fp  guard.Fingerprint
+	Err error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("system: run aborted [%s]: %v", e.Fp, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// PanicError is a panic that escaped the simulation, converted to an
+// error so one corrupted cell of a parallel sweep becomes an error row
+// instead of a crashed process. Stack holds the panicking goroutine's
+// stack at recovery time.
+type PanicError struct {
+	Fp    guard.Fingerprint
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("system: panic during run [%s]: %v", e.Fp, e.Value)
+}
+
+// recoverRun converts a panic escaping the simulation into a
+// *PanicError carrying the run fingerprint.
+func recoverRun(err *error, eng *sim.Engine, fp guard.Fingerprint) {
+	if p := recover(); p != nil {
+		fp.Cycle = eng.Now()
+		*err = &PanicError{Fp: fp, Value: p, Stack: debug.Stack()}
+	}
+}
+
+// runEngine drives the engine under the configured watchdog and
+// converts failures into fingerprinted errors. On any abort the sampler
+// is finalized so the partial epoch in progress is exported.
+func runEngine(ctx context.Context, eng *sim.Engine, cfg Config, fp guard.Fingerprint, sampler *telemetry.Sampler) error {
+	err := eng.RunContext(ctx, cfg.watchdog())
+	if err == nil {
+		return nil
+	}
+	if sampler != nil {
+		sampler.Finalize(eng.Now())
+	}
+	var v *guard.ViolationError
+	if errors.As(err, &v) {
+		return v // already carries the fingerprint and violation cycle
+	}
+	fp.Cycle = eng.Now()
+	return &RunError{Fp: fp, Err: err}
+}
+
+// newGuard builds and wires the invariant checker, or returns nil when
+// disabled. The first violation stops the engine immediately.
+func newGuard(eng *sim.Engine, ctrl *memctrl.Controller, cfg Config, fp guard.Fingerprint) *guard.Guard {
+	if !cfg.Guard.Enabled {
+		return nil
+	}
+	g := guard.New(cfg.Params, cfg.Guard)
+	g.SetFingerprint(fp.Seed, fp.Workload, fp.Scheme)
+	g.OnViolation(func(v *guard.ViolationError) { eng.Stop(v) })
+	ctrl.SetGuard(g)
+	return g
+}
+
+// parts collects the layers a finished (or aborted) run reports from.
+type parts struct {
+	eng     *sim.Engine
+	ctrl    *memctrl.Controller
+	cores   []*cpu.Core
+	hier    *cache.Hierarchy
+	wear    *pcm.WearTracker
+	remap   *wearlevel.Remapper
+	inj     *fault.Injector
+	spare   *fault.SpareRemapper
+	sampler *telemetry.Sampler
+	guard   *guard.Guard
+}
+
+// collectResult builds the Result from whatever state the platform holds
+// — valid both after a clean drain and after an abort, where it yields
+// the partial statistics.
+func collectResult(workload, scheme string, cfg Config, lastFinish units.Time, p parts) Result {
+	st := p.ctrl.Stats()
+	res := Result{
+		Workload:     workload,
+		Scheme:       scheme,
+		RunningTime:  units.Duration(lastFinish),
+		ReadLatency:  st.ReadLatency.Mean(),
+		WriteLatency: st.WriteLatency.Mean(),
+		Ctrl:         st,
+	}
+	if n := st.WriteLatency.Count(); n > 0 {
+		res.WriteUnits = st.WriteUnits / float64(n)
+	}
+	model := pcm.EnergyModelFor(cfg.Params)
+	res.Energy = model.WriteEnergy(int(st.BitSets), int(st.BitResets))
+	if n := st.WriteLatency.Count(); n > 0 {
+		res.EnergyPerWrite = res.Energy / float64(n)
+	}
+	for _, c := range p.cores {
+		cs := c.Stats()
+		res.Cores = append(res.Cores, cs)
+		res.IPC += cs.IPC(cfg.CPUClock, p.eng.Now())
+	}
+	if p.hier != nil {
+		res.Caches = p.hier.LevelStats()
+	}
+	if p.wear != nil {
+		sum := p.wear.Summary()
+		res.Wear = &sum
+	}
+	if p.remap != nil {
+		rs := p.remap.Stats()
+		res.Remap = &rs
+	}
+	if p.inj != nil {
+		fs := p.inj.Stats()
+		res.Fault = &fs
+		ss := p.spare.Stats()
+		res.Spare = &ss
+	}
+	res.Telemetry = p.sampler
+	if p.guard != nil {
+		gs := p.guard.Stats()
+		res.Guard = &gs
+	}
+	return res
 }
 
 // preloadPort interposes on the core->memory path to install each line's
@@ -160,13 +336,25 @@ func (p *preloadPort) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at
 
 func (p *preloadPort) WhenWriteSpace(fn func()) { p.down.WhenWriteSpace(fn) }
 
-// Run simulates one workload under one write scheme.
+// Run simulates one workload under one write scheme to completion.
 func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), prof, factory, cfg)
+}
+
+// RunCtx is Run under a context: the run terminates early when ctx is
+// cancelled, a watchdog budget trips, or the invariant guard detects a
+// violation. On early termination the returned error identifies the
+// cause (with the run fingerprint) and the Result still carries the
+// partial statistics and finalized telemetry gathered up to that point.
+func RunCtx(ctx context.Context, prof workload.Profile, factory schemes.Factory, cfg Config) (res Result, err error) {
 	cfg.Normalize()
-	if err := cfg.Params.Validate(); err != nil {
-		return Result{}, fmt.Errorf("system: %w", err)
+	if verr := cfg.Params.Validate(); verr != nil {
+		return Result{}, fmt.Errorf("system: %w", verr)
 	}
 	eng := &sim.Engine{}
+	fp := guard.Fingerprint{Seed: cfg.Seed, Workload: prof.Name, Scheme: factory(cfg.Params).Name()}
+	defer recoverRun(&err, eng, fp)
+
 	dev, err := pcm.NewDevice(cfg.Params)
 	if err != nil {
 		return Result{}, err
@@ -185,6 +373,7 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 	}
 
 	ctrl := memctrl.New(eng, dev, factory, cfg.Ctrl)
+	g := newGuard(eng, ctrl, cfg, fp)
 	prog := workload.NewProgram(prof, cfg.Cores, cfg.Seed, cfg.Params)
 
 	var spare *fault.SpareRemapper
@@ -284,51 +473,17 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 			inj: inj, spare: spare, cores: cores, clock: cfg.CPUClock,
 		})
 	}
-	eng.Run()
+	runErr := runEngine(ctx, eng, cfg, fp, sampler)
+	res = collectResult(prof.Name, fp.Scheme, cfg, lastFinish, parts{
+		eng: eng, ctrl: ctrl, cores: cores, hier: hier, wear: wear,
+		remap: remap, inj: inj, spare: spare, sampler: sampler, guard: g,
+	})
+	if runErr != nil {
+		return res, runErr
+	}
 	if remaining != 0 {
-		return Result{}, fmt.Errorf("system: %d cores never finished (deadlock?)", remaining)
+		return res, fmt.Errorf("system: %d cores never finished (deadlock?)", remaining)
 	}
-
-	st := ctrl.Stats()
-	res := Result{
-		Workload:     prof.Name,
-		Scheme:       factory(cfg.Params).Name(),
-		RunningTime:  units.Duration(lastFinish),
-		ReadLatency:  st.ReadLatency.Mean(),
-		WriteLatency: st.WriteLatency.Mean(),
-		Ctrl:         st,
-	}
-	if n := st.WriteLatency.Count(); n > 0 {
-		res.WriteUnits = st.WriteUnits / float64(n)
-	}
-	model := pcm.EnergyModelFor(cfg.Params)
-	res.Energy = model.WriteEnergy(int(st.BitSets), int(st.BitResets))
-	if n := st.WriteLatency.Count(); n > 0 {
-		res.EnergyPerWrite = res.Energy / float64(n)
-	}
-	for _, c := range cores {
-		cs := c.Stats()
-		res.Cores = append(res.Cores, cs)
-		res.IPC += cs.IPC(cfg.CPUClock, eng.Now())
-	}
-	if hier != nil {
-		res.Caches = hier.LevelStats()
-	}
-	if wear != nil {
-		sum := wear.Summary()
-		res.Wear = &sum
-	}
-	if remap != nil {
-		rs := remap.Stats()
-		res.Remap = &rs
-	}
-	if inj != nil {
-		fs := inj.Stats()
-		res.Fault = &fs
-		ss := spare.Stats()
-		res.Spare = &ss
-	}
-	res.Telemetry = sampler
 	return res, nil
 }
 
@@ -339,12 +494,21 @@ func Run(prof workload.Profile, factory schemes.Factory, cfg Config) (Result, er
 // payloads (the device starts zeroed, as traces carry absolute line
 // images).
 func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Factory, cfg Config) (Result, error) {
+	return RunTraceCtx(context.Background(), label, recs, cores, factory, cfg)
+}
+
+// RunTraceCtx is RunTrace under a context, with the same early-
+// termination and partial-result semantics as RunCtx.
+func RunTraceCtx(ctx context.Context, label string, recs []trace.Record, cores int, factory schemes.Factory, cfg Config) (res Result, err error) {
 	cfg.Cores = cores
 	cfg.Normalize()
-	if err := cfg.Params.Validate(); err != nil {
-		return Result{}, fmt.Errorf("system: %w", err)
+	if verr := cfg.Params.Validate(); verr != nil {
+		return Result{}, fmt.Errorf("system: %w", verr)
 	}
 	eng := &sim.Engine{}
+	fp := guard.Fingerprint{Seed: cfg.Seed, Workload: label, Scheme: factory(cfg.Params).Name()}
+	defer recoverRun(&err, eng, fp)
+
 	dev, err := pcm.NewDevice(cfg.Params)
 	if err != nil {
 		return Result{}, err
@@ -360,6 +524,7 @@ func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Fact
 	}
 
 	ctrl := memctrl.New(eng, dev, factory, cfg.Ctrl)
+	g := newGuard(eng, ctrl, cfg, fp)
 
 	var spare *fault.SpareRemapper
 	var port cpu.MemPort = ctrl
@@ -422,42 +587,16 @@ func RunTrace(label string, recs []trace.Record, cores int, factory schemes.Fact
 			inj: inj, spare: spare, cores: cpuCores, clock: cfg.CPUClock,
 		})
 	}
-	eng.Run()
+	runErr := runEngine(ctx, eng, cfg, fp, sampler)
+	res = collectResult(label+" (trace)", fp.Scheme, cfg, lastFinish, parts{
+		eng: eng, ctrl: ctrl, cores: cpuCores, hier: hier,
+		inj: inj, spare: spare, sampler: sampler, guard: g,
+	})
+	if runErr != nil {
+		return res, runErr
+	}
 	if remaining != 0 {
-		return Result{}, fmt.Errorf("system: %d cores never finished (deadlock?)", remaining)
+		return res, fmt.Errorf("system: %d cores never finished (deadlock?)", remaining)
 	}
-
-	st := ctrl.Stats()
-	res := Result{
-		Workload:     label + " (trace)",
-		Scheme:       factory(cfg.Params).Name(),
-		RunningTime:  units.Duration(lastFinish),
-		ReadLatency:  st.ReadLatency.Mean(),
-		WriteLatency: st.WriteLatency.Mean(),
-		Ctrl:         st,
-	}
-	if n := st.WriteLatency.Count(); n > 0 {
-		res.WriteUnits = st.WriteUnits / float64(n)
-	}
-	model := pcm.EnergyModelFor(cfg.Params)
-	res.Energy = model.WriteEnergy(int(st.BitSets), int(st.BitResets))
-	if n := st.WriteLatency.Count(); n > 0 {
-		res.EnergyPerWrite = res.Energy / float64(n)
-	}
-	for _, c := range cpuCores {
-		cs := c.Stats()
-		res.Cores = append(res.Cores, cs)
-		res.IPC += cs.IPC(cfg.CPUClock, eng.Now())
-	}
-	if hier != nil {
-		res.Caches = hier.LevelStats()
-	}
-	if inj != nil {
-		fs := inj.Stats()
-		res.Fault = &fs
-		ss := spare.Stats()
-		res.Spare = &ss
-	}
-	res.Telemetry = sampler
 	return res, nil
 }

@@ -78,6 +78,34 @@ func (s *Sampler) Stop() {
 	s.mu.Unlock()
 }
 
+// Stopped reports whether the sampler will take no further samples.
+func (s *Sampler) Stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// Finalize records one last snapshot at time t — the partial epoch in
+// progress — and stops the sampler. The run harness calls it when a
+// simulation is cancelled or trips the watchdog, so the counters
+// accumulated since the last epoch boundary are exported rather than
+// lost. If the sampler already stopped (normal completion records its
+// own final snapshot) or t does not advance past the last sample,
+// Finalize is a no-op beyond stopping.
+func (s *Sampler) Finalize(t units.Time) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	need := len(s.times) == 0 || s.times[len(s.times)-1] < t
+	s.mu.Unlock()
+	if need {
+		s.sample(t)
+	}
+}
+
 func (s *Sampler) arm() {
 	s.eng.After(s.epoch, s.tick)
 }

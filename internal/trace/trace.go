@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/workload"
@@ -30,6 +31,12 @@ var magic = [8]byte{'T', 'W', 'T', 'R', 'A', 'C', 'E', '1'}
 
 // Version is the current format version.
 const Version = 1
+
+// MaxLineBytes bounds the header's line size on ingestion. The header
+// field is a uint32, so without a bound a corrupt or hostile stream
+// could demand a multi-gigabyte allocation per write record; no real
+// memory line is anywhere near a megabyte.
+const MaxLineBytes = 1 << 20
 
 // Header describes a trace stream.
 type Header struct {
@@ -125,57 +132,99 @@ func (w *Writer) Flush() error {
 type Reader struct {
 	r   *bufio.Reader
 	hdr Header
+	n   int64 // records decoded so far, for error positions
 }
 
-// NewReader validates the header and returns a decoder.
+// NewReader validates the header and returns a decoder. Header fields
+// are bounds-checked here so every later allocation is sized by a
+// trusted value: a malformed or hostile stream fails fast with a
+// descriptive error instead of driving the decoder into huge
+// allocations or nonsense records.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("trace: reading magic: %w", noEOF(err))
 	}
 	if m != magic {
 		return nil, errors.New("trace: bad magic; not a trace stream")
 	}
 	var hdr Header
 	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, fmt.Errorf("trace: reading header: %w", noEOF(err))
 	}
 	if hdr.Version != Version {
 		return nil, fmt.Errorf("trace: unsupported version %d", hdr.Version)
 	}
+	if hdr.Cores == 0 {
+		return nil, errors.New("trace: header declares zero cores")
+	}
+	if hdr.LineBytes == 0 || hdr.LineBytes > MaxLineBytes {
+		return nil, fmt.Errorf("trace: header line size %d outside [1, %d]", hdr.LineBytes, MaxLineBytes)
+	}
 	return &Reader{r: br, hdr: hdr}, nil
+}
+
+// noEOF rewrites a bare io.EOF as io.ErrUnexpectedEOF: inside a header
+// or record, running out of bytes is truncation, not a clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // Header returns the stream header.
 func (r *Reader) Header() Header { return r.hdr }
 
-// Next decodes one record. It returns io.EOF at a clean end of stream.
+// Records returns how many records have been decoded so far.
+func (r *Reader) Records() int64 { return r.n }
+
+// Next decodes one record. It returns io.EOF at a clean end of stream;
+// any other failure — truncation mid-record, an out-of-range core, an
+// unknown kind — is an error naming the 1-based record number, so a
+// corrupt multi-gigabyte trace pinpoints its bad record instead of
+// reporting a bare "unexpected EOF".
 func (r *Reader) Next() (Record, error) {
-	core, err := r.r.ReadByte()
+	rec, err := r.next()
 	if err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
-		return Record{}, err
+		return Record{}, fmt.Errorf("trace: record %d: %w", r.n+1, err)
+	}
+	r.n++
+	return rec, nil
+}
+
+func (r *Reader) next() (Record, error) {
+	core, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, err // io.EOF here is the clean end of stream
 	}
 	if int(core) >= int(r.hdr.Cores) {
-		return Record{}, fmt.Errorf("trace: record core %d out of range", core)
+		return Record{}, fmt.Errorf("core %d out of range (trace has %d)", core, r.hdr.Cores)
 	}
 	kind, err := r.r.ReadByte()
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		return Record{}, fmt.Errorf("truncated record: %w", noEOF(err))
 	}
 	if kind != kindRead && kind != kindWrite {
-		return Record{}, fmt.Errorf("trace: unknown record kind %d", kind)
+		return Record{}, fmt.Errorf("unknown record kind %d", kind)
 	}
 	think, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: truncated think: %w", err)
+		return Record{}, fmt.Errorf("truncated think: %w", noEOF(err))
+	}
+	if think > math.MaxInt64 {
+		return Record{}, fmt.Errorf("think %d overflows int64", think)
 	}
 	addr, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: truncated addr: %w", err)
+		return Record{}, fmt.Errorf("truncated addr: %w", noEOF(err))
+	}
+	if addr > math.MaxInt64 {
+		return Record{}, fmt.Errorf("addr %d overflows int64", addr)
 	}
 	rec := Record{
 		Core: int(core),
@@ -188,13 +237,14 @@ func (r *Reader) Next() (Record, error) {
 	if rec.Op.Write {
 		rec.Op.Data = make([]byte, r.hdr.LineBytes)
 		if _, err := io.ReadFull(r.r, rec.Op.Data); err != nil {
-			return Record{}, fmt.Errorf("trace: truncated payload: %w", err)
+			return Record{}, fmt.Errorf("truncated payload: %w", noEOF(err))
 		}
 	}
 	return rec, nil
 }
 
-// ReadAll decodes the whole stream.
+// ReadAll decodes the whole stream. On error it returns the records
+// decoded before the failure alongside the error.
 func (r *Reader) ReadAll() ([]Record, error) {
 	var out []Record
 	for {
@@ -207,6 +257,19 @@ func (r *Reader) ReadAll() ([]Record, error) {
 		}
 		out = append(out, rec)
 	}
+}
+
+// Parse decodes an entire trace stream: header validation, then every
+// record. It is the one-call ingestion path the tools use; errors carry
+// the failing record number and the successfully decoded prefix is
+// returned even on failure.
+func Parse(r io.Reader) (Header, []Record, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	recs, err := tr.ReadAll()
+	return tr.Header(), recs, err
 }
 
 // CoreSource adapts one core's records from a fully decoded trace into a
