@@ -2,8 +2,12 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+# The gated hot-path benchmarks: per-write planning cost and one full
+# system simulation end to end.
+BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkFullSystemSingle
+BENCHCOUNT ?= 3
 
-.PHONY: build test race fuzz-smoke
+.PHONY: build test race fuzz-smoke bench bench-baseline bench-gate
 
 build:
 	$(GO) build ./...
@@ -21,3 +25,23 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFlipCoding -fuzztime=$(FUZZTIME) ./internal/bitutil
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzParseTrace -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzPack -fuzztime=$(FUZZTIME) ./internal/tetris
+
+# Run the gated benchmarks and leave the output in bench_new.txt for
+# benchgate. -count=$(BENCHCOUNT): benchgate takes the best run per
+# benchmark, discarding scheduler noise.
+bench:
+	$(GO) test -run='^$$' -bench='$(BENCHFILTER)' -benchmem -count=$(BENCHCOUNT) . | tee bench_new.txt
+
+# Refresh the committed baseline. Run on a quiet machine after an
+# intentional performance change; the diff is part of the review.
+bench-baseline:
+	$(GO) test -run='^$$' -bench='$(BENCHFILTER)' -benchmem -count=$(BENCHCOUNT) . | tee results/bench_baseline.txt
+
+# Gate the working tree against the committed baseline. ns/op is gated
+# with a 10% budget — only meaningful when the baseline was produced on
+# this machine; use BENCHGATE_FLAGS=-skip-ns to gate allocs/op alone
+# (deterministic, hence portable across machines, and the stricter of
+# the two checks: any increase fails).
+bench-gate: bench
+	$(GO) run ./cmd/benchgate -old results/bench_baseline.txt -new bench_new.txt $(BENCHGATE_FLAGS)

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"tetriswrite/internal/exp"
+	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/system"
 	"tetriswrite/internal/workload"
 )
@@ -153,7 +154,11 @@ func BenchmarkFig13IPC(b *testing.B) { fullSystemBench(b, "fig13") }
 func BenchmarkFig14RunningTime(b *testing.B) { fullSystemBench(b, "fig14") }
 
 // BenchmarkSchemePlanWrite measures per-scheme planning cost on a sparse
-// write: the per-write work a memory controller would add.
+// write: the per-write work a memory controller would add. Plans are
+// recycled back to the scheme after use, exactly as the memory
+// controller does, so this measures the steady-state (freelist-warm)
+// path — 0 allocs/op is the gated expectation, and any allocation here
+// is a hot-path regression.
 func BenchmarkSchemePlanWrite(b *testing.B) {
 	par := DefaultParams()
 	for _, name := range SchemeNames() {
@@ -162,15 +167,28 @@ func BenchmarkSchemePlanWrite(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			rec, _ := s.(schemes.PlanRecycler)
 			old := make([]byte, 64)
 			new := make([]byte, 64)
 			for i := 0; i < 10; i++ {
 				new[i*6%64] ^= 1 << (i % 8)
 			}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
+			cycle := func(i int) {
 				plan := s.PlanWrite(LineAddr(i%256), old, new)
 				_ = plan.ServiceTime()
+				if rec != nil {
+					rec.RecyclePlan(plan)
+				}
+			}
+			// Warm the pulse freelist, scratch arenas and (for Tetris)
+			// the schedule memo-cache before measuring.
+			for i := 0; i < 256; i++ {
+				cycle(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cycle(i)
 			}
 		})
 	}

@@ -1,0 +1,241 @@
+// Command benchgate compares two `go test -bench` outputs and fails on
+// performance regressions. It is the repo's self-contained stand-in for
+// benchstat, tuned for gating rather than statistics:
+//
+//	go test -run='^$' -bench=. -benchmem ./... > new.txt
+//	benchgate -old results/bench_baseline.txt -new new.txt
+//
+// Rules:
+//
+//   - ns/op may regress by at most -max-ns-regress (default 10%). With
+//     -count > 1 in either input, the best (minimum) run per benchmark
+//     is used, which discards scheduler noise the way benchstat's
+//     distribution tests would.
+//   - allocs/op is gated strictly by default (-max-alloc-regress 0):
+//     allocation counts are deterministic, so any increase is a real
+//     change, not noise. A benchmark that was 0 allocs/op must stay 0.
+//   - Benchmarks present only in the new file pass (they have no
+//     baseline yet); benchmarks that disappeared are reported but do
+//     not fail the gate unless -require-all is set.
+//
+// ns/op numbers are only comparable between runs on the same machine;
+// CI regenerates the baseline from the base commit on the same runner
+// instead of trusting a committed one (allocs/op, being deterministic,
+// is safe to gate against the committed baseline anywhere).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// result is one benchmark's aggregated measurement: the best run per
+// metric when -count produced several.
+type result struct {
+	name   string
+	nsOp   float64
+	allocs float64
+	bytes  float64
+	// haveMem records whether -benchmem columns were present; without
+	// them the alloc gate is skipped for this benchmark.
+	haveMem bool
+	runs    int
+}
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkSchemePlanWrite/tetris-8   218766   5379 ns/op   2944 B/op   26 allocs/op
+//
+// Custom -benchtime or extra ReportMetric columns may follow; they are
+// scanned separately.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var memCol = regexp.MustCompile(`([0-9.]+) (B/op|allocs/op)`)
+
+// parseBench reads `go test -bench` output, aggregating repeated runs of
+// the same benchmark (from -count) by taking the minimum per metric.
+func parseBench(r io.Reader) (map[string]*result, error) {
+	out := make(map[string]*result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		res := &result{name: m[1], nsOp: ns, allocs: -1, bytes: -1}
+		for _, c := range memCol.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(c[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s in %q: %v", c[2], sc.Text(), err)
+			}
+			switch c[2] {
+			case "B/op":
+				res.bytes = v
+			case "allocs/op":
+				res.allocs = v
+				res.haveMem = true
+			}
+		}
+		prev, ok := out[res.name]
+		if !ok {
+			res.runs = 1
+			out[res.name] = res
+			continue
+		}
+		prev.runs++
+		prev.nsOp = min(prev.nsOp, res.nsOp)
+		if res.haveMem {
+			if !prev.haveMem || res.allocs < prev.allocs {
+				prev.allocs = res.allocs
+			}
+			if !prev.haveMem || res.bytes < prev.bytes {
+				prev.bytes = res.bytes
+			}
+			prev.haveMem = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseFile(path string) (map[string]*result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return res, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		oldPath    = fs.String("old", "", "baseline `go test -bench` output (required)")
+		newPath    = fs.String("new", "", "candidate `go test -bench` output (required)")
+		maxNs      = fs.Float64("max-ns-regress", 0.10, "maximum allowed fractional ns/op regression")
+		maxAlloc   = fs.Float64("max-alloc-regress", 0, "maximum allowed absolute allocs/op increase")
+		match      = fs.String("match", "", "regexp: gate only matching benchmark names (default all)")
+		skipNs     = fs.Bool("skip-ns", false, "gate only allocs/op (use when old/new ran on different machines)")
+		requireAll = fs.Bool("require-all", false, "fail if a baseline benchmark is missing from the new output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		fs.Usage()
+		return fmt.Errorf("both -old and -new are required")
+	}
+	var filter *regexp.Regexp
+	if *match != "" {
+		var err error
+		if filter, err = regexp.Compile(*match); err != nil {
+			return fmt.Errorf("bad -match: %v", err)
+		}
+	}
+	olds, err := parseFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	news, err := parseFile(*newPath)
+	if err != nil {
+		return err
+	}
+	if len(news) == 0 {
+		return fmt.Errorf("%s contains no benchmark results", *newPath)
+	}
+
+	names := make([]string, 0, len(news))
+	for name := range news {
+		if filter == nil || filter.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	failures := 0
+	w := func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) }
+	w("%-52s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, name := range names {
+		nw := news[name]
+		od, ok := olds[name]
+		if !ok {
+			w("%-52s %12s %12.0f %8s  %s\n", trim(name), "-", nw.nsOp, "new", allocCell(nw, nil))
+			continue
+		}
+		delta := nw.nsOp/od.nsOp - 1
+		verdicts := []string{}
+		if !*skipNs && delta > *maxNs {
+			verdicts = append(verdicts, fmt.Sprintf("ns/op +%.1f%% > +%.1f%% budget", delta*100, *maxNs*100))
+		}
+		if od.haveMem && nw.haveMem && nw.allocs > od.allocs+*maxAlloc {
+			verdicts = append(verdicts, fmt.Sprintf("allocs/op %g > %g", nw.allocs, od.allocs+*maxAlloc))
+		}
+		status := ""
+		if len(verdicts) > 0 {
+			failures++
+			status = "  FAIL: " + strings.Join(verdicts, "; ")
+		}
+		w("%-52s %12.0f %12.0f %+7.1f%%  %s%s\n", trim(name), od.nsOp, nw.nsOp, delta*100, allocCell(nw, od), status)
+	}
+	for name := range olds {
+		if _, ok := news[name]; ok || (filter != nil && !filter.MatchString(name)) {
+			continue
+		}
+		if *requireAll {
+			failures++
+			w("%-52s missing from new output  FAIL\n", trim(name))
+		} else {
+			fmt.Fprintf(stderr, "benchgate: %s present in baseline but not in new output\n", name)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed", failures)
+	}
+	w("benchgate: %d benchmark(s) within budget\n", len(names))
+	return nil
+}
+
+func allocCell(nw, od *result) string {
+	if !nw.haveMem {
+		return "-"
+	}
+	if od == nil || !od.haveMem {
+		return fmt.Sprintf("%g", nw.allocs)
+	}
+	return fmt.Sprintf("%g -> %g", od.allocs, nw.allocs)
+}
+
+// trim keeps long subbenchmark names readable in the fixed-width table.
+func trim(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if len(name) > 52 {
+		name = name[:49] + "..."
+	}
+	return name
+}

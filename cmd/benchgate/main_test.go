@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+goarch: amd64
+BenchmarkSchemePlanWrite/tetris-8    218766   5379 ns/op   2944 B/op   26 allocs/op
+BenchmarkSchemePlanWrite/dcw-8       500000   2254 ns/op   1200 B/op   37 allocs/op
+BenchmarkFullSystemSingle-8              10   5619911 ns/op   2228229 B/op   7362 allocs/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchAggregatesCounts(t *testing.T) {
+	in := `BenchmarkX-8   100   200 ns/op   50 B/op   3 allocs/op
+BenchmarkX-8   100   180 ns/op   60 B/op   4 allocs/op
+BenchmarkY-8   100   99.5 ns/op
+`
+	res, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res["BenchmarkX"]
+	if x == nil || x.runs != 2 || x.nsOp != 180 || x.allocs != 3 || x.bytes != 50 {
+		t.Fatalf("BenchmarkX aggregated wrong: %+v", x)
+	}
+	y := res["BenchmarkY"]
+	if y == nil || y.haveMem || y.nsOp != 99.5 {
+		t.Fatalf("BenchmarkY parsed wrong: %+v", y)
+	}
+}
+
+func TestGatePassesWithinBudget(t *testing.T) {
+	// 5% ns/op slower, same allocs: inside the 10% budget.
+	newOut := strings.ReplaceAll(baseOut, "5379 ns/op", "5640 ns/op")
+	old := writeTemp(t, "old.txt", baseOut)
+	nw := writeTemp(t, "new.txt", newOut)
+	var out, errb strings.Builder
+	if err := run([]string{"-old", old, "-new", nw}, &out, &errb); err != nil {
+		t.Fatalf("gate failed within budget: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateFailsOnNsRegression(t *testing.T) {
+	newOut := strings.ReplaceAll(baseOut, "5379 ns/op", "6500 ns/op") // +21%
+	old := writeTemp(t, "old.txt", baseOut)
+	nw := writeTemp(t, "new.txt", newOut)
+	var out, errb strings.Builder
+	err := run([]string{"-old", old, "-new", nw}, &out, &errb)
+	if err == nil {
+		t.Fatalf("gate passed a 21%% ns/op regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ns/op") {
+		t.Fatalf("failure did not name the ns/op budget:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnSingleAllocRegression(t *testing.T) {
+	newOut := strings.ReplaceAll(baseOut, "26 allocs/op", "27 allocs/op")
+	old := writeTemp(t, "old.txt", baseOut)
+	nw := writeTemp(t, "new.txt", newOut)
+	var out, errb strings.Builder
+	if err := run([]string{"-old", old, "-new", nw}, &out, &errb); err == nil {
+		t.Fatalf("strict alloc gate passed a +1 allocs/op regression:\n%s", out.String())
+	}
+}
+
+func TestSkipNsGatesOnlyAllocs(t *testing.T) {
+	// Huge ns/op swing (different machine) but identical allocs: passes
+	// with -skip-ns, which is how CI gates against the committed baseline.
+	newOut := strings.ReplaceAll(baseOut, "5379 ns/op", "53790 ns/op")
+	old := writeTemp(t, "old.txt", baseOut)
+	nw := writeTemp(t, "new.txt", newOut)
+	var out, errb strings.Builder
+	if err := run([]string{"-old", old, "-new", nw, "-skip-ns"}, &out, &errb); err != nil {
+		t.Fatalf("-skip-ns still gated ns/op: %v", err)
+	}
+}
+
+func TestNewBenchmarkPasses(t *testing.T) {
+	newOut := baseOut + "BenchmarkBrandNew-8   100   50 ns/op   0 B/op   0 allocs/op\n"
+	old := writeTemp(t, "old.txt", baseOut)
+	nw := writeTemp(t, "new.txt", newOut)
+	var out, errb strings.Builder
+	if err := run([]string{"-old", old, "-new", nw}, &out, &errb); err != nil {
+		t.Fatalf("new benchmark without a baseline failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "BrandNew") {
+		t.Fatalf("new benchmark missing from report:\n%s", out.String())
+	}
+}
+
+func TestMissingBenchmarkWithRequireAll(t *testing.T) {
+	newOut := strings.Join(strings.Split(baseOut, "\n")[:4], "\n") // drop FullSystemSingle
+	old := writeTemp(t, "old.txt", baseOut)
+	nw := writeTemp(t, "new.txt", newOut)
+	var out, errb strings.Builder
+	if err := run([]string{"-old", old, "-new", nw}, &out, &errb); err != nil {
+		t.Fatalf("missing benchmark failed the gate without -require-all: %v", err)
+	}
+	if err := run([]string{"-old", old, "-new", nw, "-require-all"}, &out, &errb); err == nil {
+		t.Fatal("-require-all passed with a benchmark missing")
+	}
+}
+
+func TestMatchFilters(t *testing.T) {
+	// The regressed benchmark is filtered out, so the gate passes.
+	newOut := strings.ReplaceAll(baseOut, "7362 allocs/op", "9999 allocs/op")
+	old := writeTemp(t, "old.txt", baseOut)
+	nw := writeTemp(t, "new.txt", newOut)
+	var out, errb strings.Builder
+	if err := run([]string{"-old", old, "-new", nw, "-match", "SchemePlanWrite"}, &out, &errb); err != nil {
+		t.Fatalf("filtered gate still failed: %v", err)
+	}
+	if err := run([]string{"-old", old, "-new", nw}, &out, &errb); err == nil {
+		t.Fatal("unfiltered gate missed the alloc regression")
+	}
+}

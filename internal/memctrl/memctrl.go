@@ -19,14 +19,25 @@ import (
 	"tetriswrite/internal/units"
 )
 
+// DrainToEmpty is the DrainLow sentinel for "drain until the write queue
+// is completely empty". The zero value of DrainLow means "use the
+// default" (half the queue), so draining to exactly zero entries needs
+// its own named value; any negative DrainLow behaves like DrainToEmpty.
+const DrainToEmpty = -1
+
 // Config tunes the controller. Zero values take the paper's defaults via
 // Normalize.
 type Config struct {
 	ReadQueue  int // read queue capacity (default 32)
 	WriteQueue int // write queue capacity (default 32)
-	// DrainLow is the write-queue depth at which a drain stops (default
-	// half the queue; negative means drain to empty). A drain starts
-	// when the write queue is full.
+	// DrainLow is the write-queue depth at which a drain stops. A drain
+	// starts when the write queue is full. Three input regimes:
+	//
+	//	DrainLow == 0 (unset)  -> default, half the write queue
+	//	DrainLow == DrainToEmpty (or any negative) -> drain to empty (0)
+	//	DrainLow > 0           -> that depth, clamped to WriteQueue
+	//
+	// After Normalize, DrainLow holds the effective non-negative depth.
 	DrainLow int
 	// OpportunisticWrites lets idle banks service writes even when no
 	// drain is active and no read wants them (ablation; the paper's
@@ -84,9 +95,14 @@ type Config struct {
 	// VerifyRetries is the per-write retry budget of the verify loop
 	// (default 3, the typical iterative-write bound of PCM controllers).
 	VerifyRetries int
+
+	// drainLowSet latches the one-time DrainLow sentinel resolution so
+	// Normalize is idempotent.
+	drainLowSet bool
 }
 
-// Normalize fills defaults in place.
+// Normalize fills defaults in place. It is idempotent: normalizing an
+// already-normalized config changes nothing.
 func (c *Config) Normalize(par pcm.Params) {
 	if c.ReadQueue <= 0 {
 		c.ReadQueue = 32
@@ -94,11 +110,17 @@ func (c *Config) Normalize(par pcm.Params) {
 	if c.WriteQueue <= 0 {
 		c.WriteQueue = 32
 	}
-	if c.DrainLow == 0 {
-		c.DrainLow = c.WriteQueue / 2
-	}
-	if c.DrainLow < 0 {
-		c.DrainLow = 0
+	if !c.drainLowSet {
+		// Resolve the DrainLow sentinels exactly once: 0 is "unset" only
+		// on the way in. Without the latch, a DrainToEmpty config
+		// normalized twice would silently revert to the default.
+		switch {
+		case c.DrainLow == 0:
+			c.DrainLow = c.WriteQueue / 2
+		case c.DrainLow < 0: // DrainToEmpty and friends
+			c.DrainLow = 0
+		}
+		c.drainLowSet = true
 	}
 	if c.DrainLow > c.WriteQueue {
 		c.DrainLow = c.WriteQueue
@@ -198,6 +220,19 @@ type Controller struct {
 	// spare remapper (fault.SpareRemapper) registers here to redirect the
 	// line; without a handler hard errors are only counted.
 	onHardError func(addr pcm.LineAddr, want []byte)
+
+	// Per-write bookkeeping freelists and scratch. The controller runs
+	// on the single engine goroutine, so plain slices beat sync.Pool:
+	// deterministic, no locks, no per-P caches. reqFree recycles request
+	// structs and dataFree their line-sized payload copies; recycling
+	// happens in finish, after which stale bank events reject the reused
+	// pointer via the generation counter. oldBuf and verifyBuf back the
+	// synchronous read-modify snapshots of startWrite/tryPreset and the
+	// verify loop — never retained across events.
+	reqFree   []*request
+	dataFree  [][]byte
+	oldBuf    []byte
+	verifyBuf []byte
 }
 
 // SetWearTracker attaches per-line pulse accounting.
@@ -222,6 +257,10 @@ func (c *Controller) SetHardErrorHandler(fn func(addr pcm.LineAddr, want []byte)
 
 type bank struct {
 	scheme schemes.Scheme
+	// recycler is scheme's PlanRecycler side, if it has one: plans are
+	// handed back as soon as the controller has extracted what it needs
+	// (service time, counts), so steady-state planning reuses one buffer.
+	recycler schemes.PlanRecycler
 	// write is the in-flight write (or preset), if any; reads maps a
 	// subarray index to its in-flight read. With Subarrays == 1 the two
 	// are mutually exclusive (monolithic bank); with more, reads may
@@ -253,9 +292,48 @@ func New(eng *sim.Engine, dev *pcm.Device, factory schemes.Factory, cfg Config) 
 	cfg.Normalize(par)
 	c := &Controller{eng: eng, par: par, cfg: cfg, dev: dev}
 	for i := 0; i < par.NumBanks; i++ {
-		c.banks = append(c.banks, &bank{scheme: factory(par), reads: make(map[int]*request)})
+		b := &bank{scheme: factory(par), reads: make(map[int]*request)}
+		b.recycler, _ = b.scheme.(schemes.PlanRecycler)
+		c.banks = append(c.banks, b)
 	}
 	return c
+}
+
+// newRequest takes a request struct from the freelist (or the heap).
+func (c *Controller) newRequest() *request {
+	if n := len(c.reqFree); n > 0 {
+		req := c.reqFree[n-1]
+		c.reqFree[n-1] = nil
+		c.reqFree = c.reqFree[:n-1]
+		return req
+	}
+	return &request{}
+}
+
+// newData takes a line-sized payload buffer from the freelist.
+func (c *Controller) newData() []byte {
+	if n := len(c.dataFree); n > 0 {
+		buf := c.dataFree[n-1]
+		c.dataFree[n-1] = nil
+		c.dataFree = c.dataFree[:n-1]
+		return buf
+	}
+	return make([]byte, c.par.LineBytes)
+}
+
+// recycleRequest returns a finished request and its payload to the
+// freelists. Stale completion/pause events may still hold the pointer,
+// but every such event validates the bank's generation counter (which
+// only ever increments) before touching it, so reuse cannot be confused
+// with the request's previous life. Preset requests never come through
+// here — their data aliases c.allOnes, which must not enter the payload
+// freelist.
+func (c *Controller) recycleRequest(req *request) {
+	if req.data != nil {
+		c.dataFree = append(c.dataFree, req.data)
+	}
+	*req = request{}
+	c.reqFree = append(c.reqFree, req)
 }
 
 // Params returns the device parameters the controller was built with.
@@ -294,8 +372,12 @@ func (c *Controller) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, da
 		})
 		return true
 	}
-	req := &request{addr: addr, enqueued: c.eng.Now()}
+	req := c.newRequest()
+	req.addr = addr
+	req.enqueued = c.eng.Now()
 	req.onDone = func(at units.Time) {
+		// The buffer is handed to the caller, who may keep it: it cannot
+		// come from a freelist.
 		buf := make([]byte, c.par.LineBytes)
 		c.dev.ReadLine(addr, buf)
 		onDone(at, buf)
@@ -351,12 +433,12 @@ func (c *Controller) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at 
 		return false
 	}
 	c.stats.Writes++
-	req := &request{
-		write:    true,
-		addr:     addr,
-		data:     append([]byte(nil), data...),
-		enqueued: c.eng.Now(),
-	}
+	req := c.newRequest()
+	req.write = true
+	req.addr = addr
+	req.data = c.newData()
+	copy(req.data, data)
+	req.enqueued = c.eng.Now()
 	if onDone != nil {
 		req.onDone = onDone
 	}
@@ -505,7 +587,10 @@ func (c *Controller) startRead(b *bank, req *request) {
 
 func (c *Controller) startWrite(b *bank, req *request) {
 	b.write = req
-	old := make([]byte, c.par.LineBytes)
+	if c.oldBuf == nil {
+		c.oldBuf = make([]byte, c.par.LineBytes)
+	}
+	old := c.oldBuf // synchronous use only: released before the next event
 	c.dev.PeekLine(req.addr, old)
 	plan := b.scheme.PlanWrite(req.addr, old, req.data)
 	c.guard.CheckWritePlan(c.eng.Now(), req.addr, old, req.data, plan)
@@ -516,9 +601,15 @@ func (c *Controller) startWrite(b *bank, req *request) {
 	if c.wear != nil {
 		c.wear.Record(req.addr, sets+resets)
 	}
-	b.busyTime += plan.ServiceTime()
+	svc := plan.ServiceTime()
+	b.busyTime += svc
 	b.writeStart = c.eng.Now()
-	b.writeEnd = c.eng.Now().Add(plan.ServiceTime())
+	b.writeEnd = c.eng.Now().Add(svc)
+	// Everything the controller needs from the plan is extracted: hand
+	// the pulse buffer back to the scheme for the next write.
+	if b.recycler != nil {
+		b.recycler.RecyclePlan(plan)
+	}
 	c.scheduleWriteCompletion(b, req)
 }
 
@@ -570,7 +661,10 @@ func (c *Controller) startVerify(b *bank, req *request, attempt int) {
 		if b.gen != gen || b.write != req {
 			return
 		}
-		got := make([]byte, c.par.LineBytes)
+		if c.verifyBuf == nil {
+			c.verifyBuf = make([]byte, c.par.LineBytes)
+		}
+		got := c.verifyBuf // synchronous use only
 		c.dev.PeekLine(req.addr, got)
 		sets, resets := mismatchCounts(got, req.data)
 		if sets == 0 && resets == 0 {
@@ -749,6 +843,7 @@ func (c *Controller) finish(req *request, at units.Time) {
 	}
 	c.schedule()
 	c.checkIdle()
+	c.recycleRequest(req)
 }
 
 // SetDirtyChecker wires the LLC's dirtiness oracle for PreSET: a hinted
@@ -803,7 +898,10 @@ func (c *Controller) tryPreset(b *bank) bool {
 			return false
 		}
 		c.stats.Presets++
-		old := make([]byte, c.par.LineBytes)
+		if c.oldBuf == nil {
+			c.oldBuf = make([]byte, c.par.LineBytes)
+		}
+		old := c.oldBuf // synchronous use only
 		c.dev.PeekLine(addr, old)
 		plan := ps.PlanPreset(addr, old)
 		c.guard.CheckPresetPlan(c.eng.Now(), addr, old, plan)
@@ -819,9 +917,15 @@ func (c *Controller) tryPreset(b *bank) bool {
 				c.allOnes[i] = 0xFF
 			}
 		}
+		// Preset requests deliberately bypass the freelists: data aliases
+		// the shared c.allOnes buffer, and the request never reaches
+		// finish, so neither may be recycled.
 		req := &request{write: true, addr: addr, data: c.allOnes, enqueued: c.eng.Now()}
 		b.write = req
 		b.writeEnd = c.eng.Now().Add(plan.ServiceTime())
+		if b.recycler != nil {
+			b.recycler.RecyclePlan(plan)
+		}
 		gen := b.gen
 		end := b.writeEnd
 		c.eng.At(end, func() {

@@ -1,0 +1,72 @@
+package schemes_test
+
+import (
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+)
+
+// Steady-state plan emission must not allocate: with the caller recycling
+// plans, repeated writes reuse the arena's pulse buffers and the schemes'
+// internal scratch. This pins the property the benchmarks measure.
+func TestPlanWriteZeroAllocsSteadyState(t *testing.T) {
+	par := pcm.DefaultParams()
+	factories := map[string]schemes.Factory{
+		"conventional": schemes.NewConventional,
+		"dcw":          schemes.NewDCW,
+		"fnw":          schemes.NewFlipNWrite,
+		"twostage":     schemes.NewTwoStage,
+		"threestage":   schemes.NewThreeStage,
+	}
+	old := make([]byte, par.LineBytes)
+	new_ := make([]byte, par.LineBytes)
+	for i := range new_ {
+		new_[i] = byte(i * 37)
+	}
+	addr := pcm.LineAddr(3)
+	for name, factory := range factories {
+		t.Run(name, func(t *testing.T) {
+			s := factory(par)
+			rec, ok := s.(schemes.PlanRecycler)
+			if !ok {
+				t.Fatalf("%s does not implement PlanRecycler", name)
+			}
+			// Warm up: touch the line so flip state exists, grow the arena.
+			for i := 0; i < 4; i++ {
+				rec.RecyclePlan(s.PlanWrite(addr, old, new_))
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				rec.RecyclePlan(s.PlanWrite(addr, old, new_))
+			})
+			if allocs != 0 {
+				t.Errorf("%s: PlanWrite allocates %v objects/op in steady state, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// Recycled buffers must not corrupt plans that are still alive: two
+// back-to-back plans without recycling in between must not share storage.
+func TestRecyclePlanDoesNotAliasLivePlans(t *testing.T) {
+	par := pcm.DefaultParams()
+	s := schemes.NewDCW(par)
+	rec := s.(schemes.PlanRecycler)
+	old := make([]byte, par.LineBytes)
+	data1 := make([]byte, par.LineBytes)
+	data2 := make([]byte, par.LineBytes)
+	for i := range data1 {
+		data1[i] = 0xAA
+		data2[i] = 0x55
+	}
+	p1 := s.PlanWrite(pcm.LineAddr(1), old, data1)
+	snapshot := append([]schemes.Pulse(nil), p1.Pulses...)
+	p2 := s.PlanWrite(pcm.LineAddr(2), old, data2) // no recycle: must not steal p1's buffer
+	for i := range p1.Pulses {
+		if p1.Pulses[i] != snapshot[i] {
+			t.Fatalf("live plan mutated by later PlanWrite at pulse %d", i)
+		}
+	}
+	rec.RecyclePlan(p1)
+	rec.RecyclePlan(p2)
+}

@@ -1,0 +1,40 @@
+package schemes
+
+// PlanRecycler is implemented by schemes that can reuse a Plan's pulse
+// buffer once the caller is done with it. The memory controller calls
+// RecyclePlan after a plan has been executed and will never touch it
+// again; the next PlanWrite on the same scheme may then reuse the buffer.
+// Recycling is strictly optional — a caller that keeps the plan alive
+// simply never recycles it, and the scheme allocates a fresh buffer.
+type PlanRecycler interface {
+	RecyclePlan(Plan)
+}
+
+// PulseArena is a freelist of pulse buffers shared by a scheme's plans.
+// Schemes embed one and take their Pulses backing array from it; callers
+// that are done with a plan hand the buffer back via RecyclePlan. Like
+// the schemes that embed it, an arena is single-owner: one bank, one
+// goroutine.
+type PulseArena struct {
+	free [][]Pulse
+}
+
+// TakePulses returns an empty pulse slice, reusing a recycled buffer's
+// capacity when one is available.
+func (a *PulseArena) TakePulses() []Pulse {
+	if n := len(a.free); n > 0 {
+		buf := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return buf
+	}
+	return nil
+}
+
+// RecyclePlan implements PlanRecycler: the plan's pulse buffer re-enters
+// the freelist. The caller must not use the plan afterwards.
+func (a *PulseArena) RecyclePlan(p Plan) {
+	if cap(p.Pulses) > 0 {
+		a.free = append(a.free, p.Pulses[:0])
+	}
+}

@@ -14,6 +14,7 @@ import (
 // budget.
 type conventional struct {
 	par pcm.Params
+	PulseArena
 }
 
 // NewConventional returns the conventional scheme.
@@ -24,17 +25,18 @@ func (s *conventional) NeedsReadBeforeWrite() bool { return false }
 
 func (s *conventional) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	p := basePlan(s.par)
+	p.Pulses = s.TakePulses()
 	nu := s.par.DataUnits()
 	lay := newStaticLayout(s.par.ChipWidthBits, s.par.CurrentReset, s.par.ChipBudget)
 	p.Write = units.Duration(lay.slots(nu)) * s.par.TSet
-	slotStart := func(i int) units.Duration { return units.Duration(i) * s.par.TSet }
+	clock := slotClock{pitch: s.par.TSet}
 
 	width := bitutil.WidthMask(s.par.ChipWidthBits)
 	wb := s.par.ChipWidthBits / 8
 	for u := 0; u < nu; u++ {
 		for c := 0; c < s.par.NumChips; c++ {
 			w := bitutil.ChipSlice(new, s.par.NumChips, wb, c, u)
-			emitStreams(&p, lay, slotStart, c, u,
+			emitStreams(&p, lay, clock, c, u,
 				stream{Reset, ^w & width},
 				stream{Set, w},
 			)

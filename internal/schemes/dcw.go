@@ -14,6 +14,7 @@ import (
 // has not analysed.
 type dcw struct {
 	par pcm.Params
+	PulseArena
 }
 
 // NewDCW returns the Data-Comparison Write scheme.
@@ -24,11 +25,12 @@ func (s *dcw) NeedsReadBeforeWrite() bool { return true }
 
 func (s *dcw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	p := basePlan(s.par)
+	p.Pulses = s.TakePulses()
 	p.Read = s.par.TRead
 	nu := s.par.DataUnits()
 	lay := newStaticLayout(s.par.ChipWidthBits, s.par.CurrentReset, s.par.ChipBudget)
 	p.Write = units.Duration(lay.slots(nu)) * s.par.TSet
-	slotStart := func(i int) units.Duration { return units.Duration(i) * s.par.TSet }
+	clock := slotClock{pitch: s.par.TSet}
 
 	wb := s.par.ChipWidthBits / 8
 	for u := 0; u < nu; u++ {
@@ -36,7 +38,7 @@ func (s *dcw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 			ow := bitutil.ChipSlice(old, s.par.NumChips, wb, c, u)
 			nw := bitutil.ChipSlice(new, s.par.NumChips, wb, c, u)
 			tr := bitutil.Transition16(ow, nw)
-			emitStreams(&p, lay, slotStart, c, u,
+			emitStreams(&p, lay, clock, c, u,
 				stream{Reset, tr.Resets},
 				stream{Set, tr.Sets},
 			)

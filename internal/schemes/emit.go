@@ -8,6 +8,17 @@ type stream struct {
 	mask uint16
 }
 
+// slotClock maps slot indices to write-phase offsets under the static
+// layouts, where slots are evenly pitched: start(i) = base + i*pitch. A
+// value type instead of a closure keeps plan emission off the heap.
+type slotClock struct {
+	base, pitch units.Duration
+}
+
+func (sc slotClock) start(i int) units.Duration {
+	return sc.base + units.Duration(i)*sc.pitch
+}
+
 // emitStreams places the cells of the given streams into data unit u's
 // slots under the static layout: cells are consumed in stream order (and
 // bit order within a stream) and assigned capBits cells per slot starting
@@ -20,12 +31,18 @@ type stream struct {
 // reserved consecutive slots, never exceeding capBits cells per slot —
 // which is what keeps the chip under its budget even when a single
 // worst-case data unit would not fit it.
-func emitStreams(p *Plan, lay staticLayout, slotStart func(int) units.Duration, chip, unit int, streams ...stream) {
+func emitStreams(p *Plan, lay staticLayout, clock slotClock, chip, unit int, streams ...stream) {
 	first := lay.firstSlot(unit)
 	// Accumulate per-slot masks for both kinds; units never span more
-	// than slotsPerUnit slots by construction.
+	// than slotsPerUnit slots by construction, and slotsPerUnit is at
+	// most the 16-cell chip width (capBits >= 1), so the accumulator
+	// lives on the stack — this sits on the per-write hot path.
 	type slotMasks struct{ set, reset uint16 }
-	acc := make([]slotMasks, lay.slotsPerUnit)
+	var accBuf [16]slotMasks
+	acc := accBuf[:min(lay.slotsPerUnit, len(accBuf))]
+	if lay.slotsPerUnit > len(accBuf) {
+		acc = make([]slotMasks, lay.slotsPerUnit)
+	}
 	k := 0
 	for _, s := range streams {
 		for b := 0; b < 16; b++ {
@@ -47,7 +64,7 @@ func emitStreams(p *Plan, lay staticLayout, slotStart func(int) units.Duration, 
 		}
 	}
 	for i, m := range acc {
-		start := slotStart(first + i)
+		start := clock.start(first + i)
 		if m.set != 0 {
 			p.Pulses = append(p.Pulses, Pulse{Chip: chip, Unit: unit, Kind: Set, Start: start, Mask: m.set})
 		}
@@ -59,9 +76,9 @@ func emitStreams(p *Plan, lay staticLayout, slotStart func(int) units.Duration, 
 
 // emitFlip emits a flip-cell-only pulse in the unit's first slot. Flip
 // cells are counted for energy but not against the data budget.
-func emitFlip(p *Plan, lay staticLayout, slotStart func(int) units.Duration, chip, unit int, kind PulseKind) {
+func emitFlip(p *Plan, lay staticLayout, clock slotClock, chip, unit int, kind PulseKind) {
 	p.Pulses = append(p.Pulses, Pulse{
 		Chip: chip, Unit: unit, Kind: kind,
-		Start: slotStart(lay.firstSlot(unit)), FlipCell: true,
+		Start: clock.start(lay.firstSlot(unit)), FlipCell: true,
 	})
 }

@@ -15,6 +15,7 @@ import (
 type fnw struct {
 	par   pcm.Params
 	flips *flipState
+	PulseArena
 }
 
 // NewFlipNWrite returns the Flip-N-Write scheme.
@@ -27,11 +28,12 @@ func (s *fnw) NeedsReadBeforeWrite() bool { return true }
 
 func (s *fnw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	p := basePlan(s.par)
+	p.Pulses = s.TakePulses()
 	p.Read = s.par.TRead
 	nu := s.par.DataUnits()
 	lay := newStaticLayout(s.par.ChipWidthBits/2, s.par.CurrentReset, s.par.ChipBudget)
 	p.Write = units.Duration(lay.slots(nu)) * s.par.TSet
-	slotStart := func(i int) units.Duration { return units.Duration(i) * s.par.TSet }
+	clock := slotClock{pitch: s.par.TSet}
 
 	wb := s.par.ChipWidthBits / 8
 	for u := 0; u < nu; u++ {
@@ -45,14 +47,14 @@ func (s *fnw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 			}
 			enc, tr, flipSet, flipReset := bitutil.FlipTransition(stored, logicalNew, s.par.ChipWidthBits)
 			s.flips.set(addr, c, u, enc.Flip)
-			emitStreams(&p, lay, slotStart, c, u,
+			emitStreams(&p, lay, clock, c, u,
 				stream{Reset, tr.Resets},
 				stream{Set, tr.Sets},
 			)
 			if flipSet {
-				emitFlip(&p, lay, slotStart, c, u, Set)
+				emitFlip(&p, lay, clock, c, u, Set)
 			} else if flipReset {
-				emitFlip(&p, lay, slotStart, c, u, Reset)
+				emitFlip(&p, lay, clock, c, u, Reset)
 			}
 		}
 	}

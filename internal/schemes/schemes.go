@@ -23,8 +23,9 @@
 package schemes
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/power"
@@ -205,20 +206,32 @@ func (p Plan) Validate(par pcm.Params) error {
 }
 
 // SortPulses orders the plan's pulses by start time (then chip, unit,
-// kind) for deterministic output.
+// kind, flip-cell flag, mask) for deterministic output. The comparator is
+// a total order — Plan.Validate forbids two pulses identical in every
+// field — so the sorted order is unique regardless of input order or sort
+// algorithm, which is what lets the scratch-arena path and the
+// fresh-allocation path produce bit-identical plans.
 func (p *Plan) SortPulses() {
-	sort.Slice(p.Pulses, func(i, j int) bool {
-		a, b := p.Pulses[i], p.Pulses[j]
+	slices.SortFunc(p.Pulses, func(a, b Pulse) int {
 		if a.Start != b.Start {
-			return a.Start < b.Start
+			return cmp.Compare(a.Start, b.Start)
 		}
 		if a.Chip != b.Chip {
-			return a.Chip < b.Chip
+			return cmp.Compare(a.Chip, b.Chip)
 		}
 		if a.Unit != b.Unit {
-			return a.Unit < b.Unit
+			return cmp.Compare(a.Unit, b.Unit)
 		}
-		return a.Kind < b.Kind
+		if a.Kind != b.Kind {
+			return cmp.Compare(a.Kind, b.Kind)
+		}
+		if a.FlipCell != b.FlipCell {
+			if a.FlipCell {
+				return 1
+			}
+			return -1
+		}
+		return cmp.Compare(a.Mask, b.Mask)
 	})
 }
 

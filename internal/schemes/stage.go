@@ -16,6 +16,7 @@ import (
 type twoStage struct {
 	par   pcm.Params
 	flips *flipState
+	PulseArena
 }
 
 // NewTwoStage returns the 2-Stage-Write scheme.
@@ -28,6 +29,7 @@ func (s *twoStage) NeedsReadBeforeWrite() bool { return false }
 
 func (s *twoStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	p := basePlan(s.par)
+	p.Pulses = s.TakePulses()
 	nu := s.par.DataUnits()
 	w := s.par.ChipWidthBits
 
@@ -37,8 +39,8 @@ func (s *twoStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	n1 := lay1.slots(nu)
 	stage0Span := units.Duration(n0) * s.par.TReset
 	p.Write = stage0Span + units.Duration(n1)*s.par.TSet
-	start0 := func(i int) units.Duration { return units.Duration(i) * s.par.TReset }
-	start1 := func(i int) units.Duration { return stage0Span + units.Duration(i)*s.par.TSet }
+	clock0 := slotClock{pitch: s.par.TReset}
+	clock1 := slotClock{base: stage0Span, pitch: s.par.TSet}
 
 	width := bitutil.WidthMask(w)
 	wbytes := w / 8
@@ -52,12 +54,12 @@ func (s *twoStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 			}
 			s.flips.set(addr, c, u, flip)
 			// Every cell is programmed: zeros in stage 0, ones in stage 1.
-			emitStreams(&p, lay0, start0, c, u, stream{Reset, ^enc & width})
-			emitStreams(&p, lay1, start1, c, u, stream{Set, enc})
+			emitStreams(&p, lay0, clock0, c, u, stream{Reset, ^enc & width})
+			emitStreams(&p, lay1, clock1, c, u, stream{Set, enc})
 			if flip {
-				emitFlip(&p, lay1, start1, c, u, Set)
+				emitFlip(&p, lay1, clock1, c, u, Set)
 			} else {
-				emitFlip(&p, lay0, start0, c, u, Reset)
+				emitFlip(&p, lay0, clock0, c, u, Reset)
 			}
 		}
 	}
@@ -73,6 +75,7 @@ func (s *twoStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 type threeStage struct {
 	par   pcm.Params
 	flips *flipState
+	PulseArena
 }
 
 // NewThreeStage returns the Three-Stage-Write scheme.
@@ -85,6 +88,7 @@ func (s *threeStage) NeedsReadBeforeWrite() bool { return true }
 
 func (s *threeStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	p := basePlan(s.par)
+	p.Pulses = s.TakePulses()
 	p.Read = s.par.TRead
 	nu := s.par.DataUnits()
 	w := s.par.ChipWidthBits
@@ -95,8 +99,8 @@ func (s *threeStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	n1 := lay1.slots(nu)
 	stage0Span := units.Duration(n0) * s.par.TReset
 	p.Write = stage0Span + units.Duration(n1)*s.par.TSet
-	start0 := func(i int) units.Duration { return units.Duration(i) * s.par.TReset }
-	start1 := func(i int) units.Duration { return stage0Span + units.Duration(i)*s.par.TSet }
+	clock0 := slotClock{pitch: s.par.TReset}
+	clock1 := slotClock{base: stage0Span, pitch: s.par.TSet}
 
 	wbytes := w / 8
 	for u := 0; u < nu; u++ {
@@ -109,12 +113,12 @@ func (s *threeStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 			}
 			enc, tr, flipSet, flipReset := bitutil.FlipTransition(stored, logicalNew, w)
 			s.flips.set(addr, c, u, enc.Flip)
-			emitStreams(&p, lay0, start0, c, u, stream{Reset, tr.Resets})
-			emitStreams(&p, lay1, start1, c, u, stream{Set, tr.Sets})
+			emitStreams(&p, lay0, clock0, c, u, stream{Reset, tr.Resets})
+			emitStreams(&p, lay1, clock1, c, u, stream{Set, tr.Sets})
 			if flipSet {
-				emitFlip(&p, lay1, start1, c, u, Set)
+				emitFlip(&p, lay1, clock1, c, u, Set)
 			} else if flipReset {
-				emitFlip(&p, lay0, start0, c, u, Reset)
+				emitFlip(&p, lay0, clock0, c, u, Reset)
 			}
 		}
 	}

@@ -46,6 +46,12 @@ type Engine struct {
 	seq     uint64
 	events  uint64
 	stopErr error // set by Stop; halts Run/RunContext at the next boundary
+
+	// free recycles event structs between Step and At: a long simulation
+	// turns over millions of events whose live population is tiny (the
+	// pending queue), so reuse keeps the kernel off the allocator. Only
+	// grows to the high-water mark of the pending queue.
+	free []*event
 }
 
 // Now returns the current simulated time.
@@ -65,7 +71,16 @@ func (e *Engine) At(t units.Time, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	heap.Push(&e.pq, ev)
 }
 
 // After schedules fn d after the current time.
@@ -85,7 +100,13 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.pq).(*event)
 	e.now = ev.at
 	e.events++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running: the struct is fully extracted, so fn's own
+	// At calls may reuse it immediately. Clearing fn releases the
+	// closure's captures as soon as the event is done.
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 

@@ -1,0 +1,163 @@
+package tetris
+
+// schedCache memoizes the analysis stage. Workloads repeat packing
+// problems constantly — zero fills, SET-dominant lines, and hot lines
+// rewritten with similar data all reduce to the same (N1, N0) count
+// vectors — so one bounded map turns most Pack calls into a lookup.
+//
+// Determinism: Pack is a pure function of the Packer configuration and
+// the count vectors, and the cache key covers every one of those inputs
+// (budget, K, costs, MinResult, ArrivalOrder, in1, in0). A hit therefore
+// returns a schedule bit-identical to what repacking would produce; the
+// per-write flip-RESET rider adjustment happens on the caller's value
+// copy, outside the cache. Cached schedules own deep copies of their
+// allocation lists and must be treated as read-only by callers — the
+// emission stage only reads them.
+type schedCache struct {
+	buckets map[uint64][]schedEntry
+	entries int64
+	hits    int64
+	misses  int64
+}
+
+// schedCacheMaxEntries bounds the cache's footprint. At a few hundred
+// bytes per entry the bound keeps the worst case around a megabyte per
+// bank; once full, new problems simply pack through the scratch arena.
+const schedCacheMaxEntries = 4096
+
+type schedEntry struct {
+	pk       Packer
+	in1, in0 []int // owned copies
+	sched    Schedule
+}
+
+func (c *schedCache) lookup(pk Packer, in1, in0 []int) (Schedule, bool) {
+	if c.buckets == nil {
+		c.misses++
+		return Schedule{}, false
+	}
+	for _, e := range c.buckets[hashKey(pk, in1, in0)] {
+		if e.pk == pk && intsEqual(e.in1, in1) && intsEqual(e.in0, in0) {
+			c.hits++
+			return e.sched, true
+		}
+	}
+	c.misses++
+	return Schedule{}, false
+}
+
+// store records the schedule for this packing problem, deep-copying both
+// the key and the schedule so neither aliases caller scratch. Full caches
+// drop the insert (the miss counter already recorded the event).
+func (c *schedCache) store(pk Packer, in1, in0 []int, sched Schedule) {
+	if c.entries >= schedCacheMaxEntries {
+		return
+	}
+	if c.buckets == nil {
+		c.buckets = make(map[uint64][]schedEntry)
+	}
+	h := hashKey(pk, in1, in0)
+	key := make([]int, 2*len(in1))
+	copy(key, in1)
+	copy(key[len(in1):], in0)
+	c.buckets[h] = append(c.buckets[h], schedEntry{
+		pk:    pk,
+		in1:   key[:len(in1)],
+		in0:   key[len(in1):],
+		sched: copySchedule(sched),
+	})
+	c.entries++
+}
+
+// Stats returns the cache's hit/miss/occupancy counters.
+func (c *schedCache) Stats() (hits, misses, entries int64) {
+	return c.hits, c.misses, c.entries
+}
+
+// hashKey is FNV-1a over every field Pack depends on.
+func hashKey(pk Packer, in1, in0 []int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v int) {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	mix(pk.Budget)
+	mix(pk.K)
+	mix(pk.Cost1)
+	mix(pk.Cost0)
+	mix(pk.MinResult)
+	if pk.ArrivalOrder {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	mix(len(in1))
+	for _, v := range in1 {
+		mix(v)
+	}
+	for _, v := range in0 {
+		mix(v)
+	}
+	return h
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// copySchedule deep-copies a schedule into compact cache-owned storage.
+func copySchedule(s Schedule) Schedule {
+	total := 0
+	for _, l := range s.Write1 {
+		total += len(l)
+	}
+	for _, l := range s.Write0 {
+		total += len(l)
+	}
+	arena := make([]Alloc, 0, total)
+	lists := make([][]Alloc, 2*len(s.Write1))
+	out := s
+	out.Write1 = lists[:len(s.Write1):len(s.Write1)]
+	out.Write0 = lists[len(s.Write1):]
+	for u, l := range s.Write1 {
+		if len(l) == 0 {
+			continue
+		}
+		mark := len(arena)
+		arena = append(arena, l...)
+		out.Write1[u] = arena[mark:len(arena):len(arena)]
+	}
+	for u, l := range s.Write0 {
+		if len(l) == 0 {
+			continue
+		}
+		mark := len(arena)
+		arena = append(arena, l...)
+		out.Write0[u] = arena[mark:len(arena):len(arena)]
+	}
+	return out
+}
+
+// SchedCacheStats exposes the scheme's memo-cache counters (hits, misses,
+// live entries) for telemetry. The memory controller aggregates these
+// across banks via an interface assertion, keeping this package free of a
+// telemetry dependency.
+func (s *scheme) SchedCacheStats() (hits, misses, entries int64) {
+	return s.cache.Stats()
+}

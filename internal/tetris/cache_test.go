@@ -1,0 +1,116 @@
+package tetris
+
+import (
+	"reflect"
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+)
+
+// A memo-cache hit must be bit-identical to repacking. Two lines holding
+// identical data reduce to the same count vector — the first write misses
+// and packs, the second hits — so their plans must agree pulse for pulse.
+func TestSchedCacheHitMatchesMiss(t *testing.T) {
+	par := pcm.DefaultParams()
+	s := New(par).(*scheme)
+	old := make([]byte, par.LineBytes)
+	data := make([]byte, par.LineBytes)
+	for i := range data {
+		data[i] = byte(i*29 + 7)
+	}
+	p1 := s.PlanWrite(pcm.LineAddr(10), old, data)
+	pulses1 := append([]schemes.Pulse(nil), p1.Pulses...)
+	hits0, _, _ := s.SchedCacheStats()
+	p2 := s.PlanWrite(pcm.LineAddr(20), old, data)
+	hits1, misses, entries := s.SchedCacheStats()
+	if hits1 <= hits0 {
+		t.Fatalf("second identical write did not hit the cache (hits %d -> %d, misses %d)", hits0, hits1, misses)
+	}
+	if entries <= 0 {
+		t.Fatalf("cache reports %d entries after a miss", entries)
+	}
+	if !reflect.DeepEqual(pulses1, p2.Pulses) {
+		t.Fatalf("cache-hit plan differs from miss plan\nmiss: %+v\nhit:  %+v", pulses1, p2.Pulses)
+	}
+	if p1.Write != p2.Write || p1.ServiceTime() != p2.ServiceTime() {
+		t.Fatalf("timings differ: %v vs %v", p1.Write, p2.Write)
+	}
+}
+
+// The cache must never change what a write sequence produces: a caching
+// scheme and a sequence of plans from cache-cold schemes must agree.
+func TestSchedCacheTransparentAcrossSequence(t *testing.T) {
+	par := pcm.DefaultParams()
+	warm := New(par).(*scheme)
+	cold := New(par).(*scheme)
+	old := make([]byte, par.LineBytes)
+	cur := map[pcm.LineAddr][]byte{}
+	patterns := []byte{0x00, 0xFF, 0xA5, 0x3C, 0x00, 0xA5, 0x81, 0xFF, 0x00, 0x3C}
+	for step, pat := range patterns {
+		addr := pcm.LineAddr(step % 3)
+		prev, ok := cur[addr]
+		if !ok {
+			prev = append([]byte(nil), old...)
+		}
+		data := make([]byte, par.LineBytes)
+		for i := range data {
+			data[i] = pat ^ byte(i)
+		}
+		pw := warm.PlanWrite(addr, prev, data)
+		// Reset the cold scheme's cache each step so it always repacks,
+		// while its flip state follows the same sequence.
+		cold.cache = schedCache{}
+		pc := cold.PlanWrite(addr, prev, data)
+		if !reflect.DeepEqual(pw.Pulses, pc.Pulses) {
+			t.Fatalf("step %d: cached plan differs from cold repack", step)
+		}
+		cur[addr] = data
+	}
+	hits, misses, _ := warm.SchedCacheStats()
+	if hits == 0 {
+		t.Fatalf("sequence with repeated patterns produced no cache hits (misses %d)", misses)
+	}
+}
+
+// Steady-state Tetris planning must be allocation-free: scratch arenas
+// carry the packing state, the memo cache absorbs repeated problems, and
+// recycled plans supply the pulse buffer.
+func TestTetrisPlanWriteZeroAllocsSteadyState(t *testing.T) {
+	par := pcm.DefaultParams()
+	s := New(par)
+	rec := s.(schemes.PlanRecycler)
+	old := make([]byte, par.LineBytes)
+	data := make([]byte, par.LineBytes)
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	addr := pcm.LineAddr(5)
+	for i := 0; i < 4; i++ {
+		rec.RecyclePlan(s.PlanWrite(addr, old, data))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.RecyclePlan(s.PlanWrite(addr, old, data))
+	})
+	if allocs != 0 {
+		t.Fatalf("tetris PlanWrite allocates %v objects/op in steady state, want 0", allocs)
+	}
+}
+
+// Once the cache is at capacity new problems must still pack correctly
+// (through the scratch arena) without inserting.
+func TestSchedCacheCapacityBound(t *testing.T) {
+	var c schedCache
+	pk := Packer{Budget: 32, K: 8, Cost1: 1, Cost0: 2}
+	in0 := make([]int, 4)
+	for i := 0; i < schedCacheMaxEntries+50; i++ {
+		in1 := []int{i % 17, (i / 17) % 23, i % 5, i % 29}
+		if _, hit := c.lookup(pk, in1, in0); !hit {
+			c.store(pk, in1, in0, pk.Pack(in1, in0))
+		}
+	}
+	_, _, entries := c.Stats()
+	if entries > schedCacheMaxEntries {
+		t.Fatalf("cache grew to %d entries, cap is %d", entries, schedCacheMaxEntries)
+	}
+}

@@ -1,0 +1,123 @@
+package tetris
+
+import (
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/power"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/units"
+)
+
+// profileFromSchedule converts a packer schedule into a power.Profile
+// exactly as the emission stage would realize it: write-1 allocations
+// hold their write unit's full Tset window (loading all K sub-slots),
+// write-0 allocations hold one Treset-long sub-slot. Flip cells do not
+// appear — in1/in0 count data cells only, mirroring Pulse.DataBits.
+func profileFromSchedule(s Schedule, tset, treset units.Duration) *power.Profile {
+	pitch := tset / units.Duration(s.K)
+	subStart := func(i int) units.Time {
+		if i < s.Result*s.K {
+			return units.Time(units.Duration(i/s.K)*tset + units.Duration(i%s.K)*pitch)
+		}
+		return units.Time(units.Duration(s.Result)*tset + units.Duration(i-s.Result*s.K)*pitch)
+	}
+	var prof power.Profile
+	for _, allocs := range s.Write1 {
+		for _, a := range allocs {
+			start := units.Time(units.Duration(a.Slot) * tset)
+			prof.Add(0, start, start.Add(tset), a.Amount)
+		}
+	}
+	for _, allocs := range s.Write0 {
+		for _, a := range allocs {
+			start := subStart(a.Slot)
+			prof.Add(0, start, start.Add(treset), a.Amount)
+		}
+	}
+	return &prof
+}
+
+// Schedule.Validate and the scheme-level power oracle (Profile + Budget,
+// fed by Pulse.DataBits) must agree: a schedule Validate accepts realizes
+// a pulse train the budget checker accepts, on the paper's own Figure 4
+// example and under perturbation in both directions.
+func TestValidateMatchesBudgetOracle(t *testing.T) {
+	in1 := []int{8, 7, 7, 6, 6, 6, 5, 3}
+	in0raw := []int{0, 1, 1, 2, 3, 2, 2, 5}
+	in0 := make([]int, len(in0raw))
+	for i, v := range in0raw {
+		in0[i] = v * 2 // RESET current is twice SET current
+	}
+	pk := Packer{Budget: 32, K: 8, Cost1: 1, Cost0: 2}
+	s := pk.Pack(in1, in0)
+	if err := s.Validate(pk, in1, in0); err != nil {
+		t.Fatalf("Validate rejects the Figure 4 schedule: %v", err)
+	}
+
+	tset := units.Duration(1000)
+	treset := tset / units.Duration(pk.K)
+	budget := power.Budget{PerChip: pk.Budget, Chips: 1}
+	if err := budget.Check(profileFromSchedule(s, tset, treset)); err != nil {
+		t.Fatalf("power oracle rejects a Validate-approved schedule: %v", err)
+	}
+	// The paper's headline number: write unit 1 carries units {1,2,3,4,8}
+	// for 8+7+7+6+3 = 31 of the 32 budget.
+	if peak := profileFromSchedule(s, tset, treset).PeakTotal(); peak > pk.Budget {
+		t.Fatalf("peak draw %d exceeds budget %d", peak, pk.Budget)
+	}
+
+	// Misalignment probe: overload one sub-slot past the budget. Both
+	// definitions must reject it the same way.
+	bad := s
+	bad.Write0 = append([][]Alloc(nil), s.Write0...)
+	u := 7 // unit 8 carries write-0 current
+	bad.Write0[u] = append([]Alloc(nil), s.Write0[u]...)
+	bad.Write0[u][0].Amount += pk.Budget // blows the slot, and the sum check
+	badIn0 := append([]int(nil), in0...)
+	badIn0[u] += pk.Budget // keep the sum check satisfied; leave the overload
+	if err := bad.Validate(pk, in1, badIn0); err == nil {
+		t.Fatal("Validate accepted an overloaded sub-slot")
+	}
+	if err := budget.Check(profileFromSchedule(bad, tset, treset)); err == nil {
+		t.Fatal("power oracle accepted an overloaded sub-slot")
+	}
+}
+
+// The flip-cell exemption must be consistent end to end: the packer's
+// inputs never include flip cells (Validate cannot see them), and the
+// emitted plans charge flip-cell pulses zero budget current via
+// Pulse.DataBits — so even writes that flip every unit stay within the
+// oracle's budget. The paper's Figure 4 arithmetic (31 data bits < 32,
+// with the flip bit on its own driver column) is what both encode.
+func TestFlipCellExemptionConsistent(t *testing.T) {
+	par := pcm.DefaultParams()
+	s := New(par)
+	budget := schemes.PowerBudget(par)
+	old := make([]byte, par.LineBytes)
+	patterns := []byte{0xFF, 0x00, 0xF0, 0xAA, 0x0F}
+	flipPulses := 0
+	for step, pat := range patterns {
+		data := make([]byte, par.LineBytes)
+		for i := range data {
+			data[i] = pat
+		}
+		plan := s.PlanWrite(pcm.LineAddr(step), old, data)
+		for _, pl := range plan.Pulses {
+			if pl.FlipCell {
+				flipPulses++
+				if pl.DataBits() != pl.Bits()-1 {
+					t.Fatalf("flip pulse budget accounting off: DataBits %d, Bits %d", pl.DataBits(), pl.Bits())
+				}
+			} else if pl.DataBits() != pl.Bits() {
+				t.Fatalf("data pulse budget accounting off: DataBits %d, Bits %d", pl.DataBits(), pl.Bits())
+			}
+		}
+		if err := budget.Check(plan.Profile(0)); err != nil {
+			t.Fatalf("pattern %#x: plan exceeds budget with flip cells exempt: %v", pat, err)
+		}
+	}
+	if flipPulses == 0 {
+		t.Fatal("test patterns produced no flip-cell pulses; exemption untested")
+	}
+}

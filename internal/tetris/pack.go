@@ -17,10 +17,7 @@
 // sub-write-units.
 package tetris
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Alloc gives part of one data unit's current need a home in one slot.
 // Amount is in SET-current units; Slot is a write-unit index for write-1
@@ -48,7 +45,7 @@ type Schedule struct {
 // Packer holds the analysis-stage configuration.
 type Packer struct {
 	Budget int // instantaneous budget of the domain, SET-current units
-	K      int // sub-write-units per write unit
+	K      int // sub-write-units per write unit (time asymmetry)
 	// Cost1 and Cost0 are the per-cell currents of SET and RESET pulses.
 	// Zero means 1. Split allocations are kept to whole cells by rounding
 	// to multiples of the cost.
@@ -76,14 +73,53 @@ func (pk Packer) cost0() int {
 	return pk.Cost0
 }
 
-// Pack computes the Tetris schedule for one domain. in1[u] and in0[u] are
-// data unit u's write-1 and write-0 current needs (already scaled by the
-// per-cell currents). Both slices must have the same length.
+// Scratch is a reusable packing arena. Repeated PackInto calls against
+// the same Scratch reuse its buffers instead of allocating, which makes
+// the analysis stage allocation-free in steady state — the property the
+// full-system sweeps depend on.
+//
+// Ownership rules: every Schedule returned by PackInto points into the
+// Scratch's arenas and stays valid until the next Reset. Multiple
+// PackInto calls may share one Scratch between Resets (the per-domain
+// packs of one cache-line write do exactly that); Reset reclaims all of
+// them at once. A Scratch is single-owner: it must not be shared between
+// goroutines or between schemes.
+type Scratch struct {
+	order []int // packing order of the current pass
+	wu1   []int // per-write-unit committed write-1 current
+	sub   []int // per-global-sub-slot committed current
+
+	// allocs is the arena the per-unit Alloc lists are carved from, and
+	// lists the arena for the Write1/Write0 slice headers. Both only ever
+	// grow; Reset rewinds their cursors, so steady-state packing reuses
+	// the high-water-mark capacity without touching the allocator.
+	allocs []Alloc
+	lists  [][]Alloc
+}
+
+// Reset rewinds the arenas. Every Schedule previously returned from this
+// Scratch becomes invalid.
+func (sc *Scratch) Reset() {
+	sc.allocs = sc.allocs[:0]
+	sc.lists = sc.lists[:0]
+}
+
+// Pack computes the Tetris schedule for one domain using fresh
+// allocations: the returned Schedule owns its memory. in1[u] and in0[u]
+// are data unit u's write-1 and write-0 current needs (already scaled by
+// the per-cell currents). Both slices must have the same length.
 //
 // Units whose need exceeds the whole budget are split across slots — the
 // generalization required by tiny mobile budgets; under the paper's
 // configuration every unit fits and placements stay atomic.
 func (pk Packer) Pack(in1, in0 []int) Schedule {
+	return pk.PackInto(new(Scratch), in1, in0)
+}
+
+// PackInto is Pack against a caller-owned Scratch: identical schedules,
+// no steady-state allocation. The result aliases the Scratch's arenas and
+// is valid until its next Reset.
+func (pk Packer) PackInto(sc *Scratch, in1, in0 []int) Schedule {
 	if len(in1) != len(in0) {
 		panic("tetris: Pack with mismatched current slices")
 	}
@@ -98,36 +134,34 @@ func (pk Packer) Pack(in1, in0 []int) Schedule {
 			pk.Budget, pk.cost1(), pk.cost0()))
 	}
 	n := len(in1)
-	s := Schedule{
-		K:      pk.K,
-		Write1: make([][]Alloc, n),
-		Write0: make([][]Alloc, n),
-	}
+	s := Schedule{K: pk.K}
+	s.Write1, s.Write0 = sc.carveLists(n)
 
 	// wu1[j]: current committed to write unit j by write-1s. A write-1
 	// pulse spans the whole write unit, so it loads every one of the
 	// unit's K sub-slots for its full duration.
-	wu1 := make([]int, pk.MinResult)
+	wu1 := resizeZeroed(sc.wu1, pk.MinResult)
 
-	for _, u := range pk.order(in1) {
+	for _, u := range pk.order(sc, in1) {
 		need := in1[u]
 		if need == 0 {
 			continue
 		}
+		mark := len(sc.allocs)
 		// Atomic first-fit into an existing write unit.
 		placed := false
 		if need <= pk.Budget {
 			for j := range wu1 {
 				if wu1[j]+need <= pk.Budget {
 					wu1[j] += need
-					s.Write1[u] = append(s.Write1[u], Alloc{Slot: j, Amount: need})
+					sc.allocs = append(sc.allocs, Alloc{Slot: j, Amount: need})
 					placed = true
 					break
 				}
 			}
 			if !placed {
 				wu1 = append(wu1, need)
-				s.Write1[u] = append(s.Write1[u], Alloc{Slot: len(wu1) - 1, Amount: need})
+				sc.allocs = append(sc.allocs, Alloc{Slot: len(wu1) - 1, Amount: need})
 				placed = true
 			}
 		}
@@ -139,46 +173,58 @@ func (pk Packer) Pack(in1, in0 []int) Schedule {
 				if j == len(wu1) {
 					wu1 = append(wu1, 0)
 				}
-				take := min(pk.Budget-wu1[j], need) / cost * cost
+				gap := pk.Budget - wu1[j]
+				take := min(gap, need) / cost * cost
 				if take <= 0 {
-					continue
+					// The final sub-cost remainder (only reachable when a
+					// need is not a whole number of cells) would round to
+					// zero forever; place it like one whole cell instead,
+					// in the first slot with room for a cell.
+					if need < cost && gap >= cost {
+						take = need
+					} else {
+						continue
+					}
 				}
 				wu1[j] += take
-				s.Write1[u] = append(s.Write1[u], Alloc{Slot: j, Amount: take})
+				sc.allocs = append(sc.allocs, Alloc{Slot: j, Amount: take})
 				need -= take
 			}
 		}
+		s.Write1[u] = sc.take(mark)
 	}
 	s.Result = len(wu1)
+	sc.wu1 = wu1
 
 	// sub[i]: current committed to global sub-slot i. Sub-slots within
 	// write unit j inherit the write-1 load wu1[j]; overflow sub-slots
 	// past result*K start empty. Overflow slots are materialized lazily.
-	sub := make([]int, s.Result*pk.K)
+	sub := resizeZeroed(sc.sub, s.Result*pk.K)
 	for j, used := range wu1 {
 		for k := 0; k < pk.K; k++ {
 			sub[j*pk.K+k] = used
 		}
 	}
 
-	for _, u := range pk.order(in0) {
+	for _, u := range pk.order(sc, in0) {
 		need := in0[u]
 		if need == 0 {
 			continue
 		}
+		mark := len(sc.allocs)
 		placed := false
 		if need <= pk.Budget {
 			for i := range sub {
 				if sub[i]+need <= pk.Budget {
 					sub[i] += need
-					s.Write0[u] = append(s.Write0[u], Alloc{Slot: i, Amount: need})
+					sc.allocs = append(sc.allocs, Alloc{Slot: i, Amount: need})
 					placed = true
 					break
 				}
 			}
 			if !placed {
 				sub = append(sub, need)
-				s.Write0[u] = append(s.Write0[u], Alloc{Slot: len(sub) - 1, Amount: need})
+				sc.allocs = append(sc.allocs, Alloc{Slot: len(sub) - 1, Amount: need})
 				placed = true
 			}
 		}
@@ -188,43 +234,103 @@ func (pk Packer) Pack(in1, in0 []int) Schedule {
 				if i == len(sub) {
 					sub = append(sub, 0)
 				}
-				take := min(pk.Budget-sub[i], need) / cost * cost
+				gap := pk.Budget - sub[i]
+				take := min(gap, need) / cost * cost
 				if take <= 0 {
-					continue
+					// Mirror of the write-1 split regime: a sub-cost
+					// remainder is placed as one whole cell.
+					if need < cost && gap >= cost {
+						take = need
+					} else {
+						continue
+					}
 				}
 				sub[i] += take
-				s.Write0[u] = append(s.Write0[u], Alloc{Slot: i, Amount: take})
+				sc.allocs = append(sc.allocs, Alloc{Slot: i, Amount: take})
 				need -= take
 			}
 		}
+		s.Write0[u] = sc.take(mark)
 	}
 	s.SubResult = len(sub) - s.Result*pk.K
+	sc.sub = sub
 
 	return s
 }
 
+// carveLists extends the list arena by 2n nil entries and returns them as
+// the Write1 and Write0 header arrays. Taking the subslices after the
+// append keeps them valid even when the arena regrows mid-carve.
+func (sc *Scratch) carveLists(n int) (w1, w0 [][]Alloc) {
+	base := len(sc.lists)
+	for i := 0; i < 2*n; i++ {
+		sc.lists = append(sc.lists, nil)
+	}
+	return sc.lists[base : base+n : base+n], sc.lists[base+n : base+2*n : base+2*n]
+}
+
+// take returns the allocs appended since mark as an owned-capacity slice,
+// or nil when none were (so arena-built schedules are indistinguishable
+// from fresh ones, where untouched units keep nil lists).
+func (sc *Scratch) take(mark int) []Alloc {
+	if len(sc.allocs) == mark {
+		return nil
+	}
+	return sc.allocs[mark:len(sc.allocs):len(sc.allocs)]
+}
+
+// resizeZeroed returns buf resized to n with every element zeroed,
+// reusing its capacity.
+func resizeZeroed(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n, max(n, 2*cap(buf)))
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // order returns unit indices in packing order: decreasing need
 // (first-fit-decreasing) with index as tie-break, or plain arrival order
-// for the ablation.
-func (pk Packer) order(need []int) []int {
-	idx := make([]int, len(need))
+// for the ablation. The returned slice is the Scratch's order buffer,
+// valid until the next order call.
+func (pk Packer) order(sc *Scratch, need []int) []int {
+	idx := resizeZeroed(sc.order, len(need))
 	for i := range idx {
 		idx[i] = i
 	}
+	sc.order = idx
 	if pk.ArrivalOrder {
 		return idx
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return need[idx[a]] > need[idx[b]]
-	})
+	// Insertion sort: stable, allocation-free, and fast at the data-unit
+	// counts of real lines (4-16). Matches sort.SliceStable's ordering
+	// (decreasing need, arrival order as tie-break) exactly.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && need[idx[j-1]] < need[idx[j]]; j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
 	return idx
 }
 
 // Validate checks a schedule's internal consistency against the inputs it
 // was built from: every unit's need fully allocated, no slot over budget,
 // write-0 slots within bounds.
+//
+// Its power accounting matches the scheme-level oracle
+// (schemes.Pulse.DataBits feeding power.Budget.Check): a write-1
+// allocation loads all K sub-slots of its write unit for the pulse's full
+// Tset duration, while flip cells never appear here at all — in1/in0
+// count data cells only, because the paper's budget arithmetic (the
+// Figure 4 example charges 8+7+7+6+3 data bits against a budget of 32)
+// gives the flip-bit drivers their own column outside the data budget.
+// TestValidateMatchesBudgetOracle pins the two definitions together.
 func (s Schedule) Validate(pk Packer, in1, in0 []int) error {
-	load := map[int]int{} // global sub-slot -> current
+	maxSub := s.Result*s.K + s.SubResult
+	load := make([]int, maxSub) // global sub-slot -> current
 	for u, allocs := range s.Write1 {
 		total := 0
 		for _, a := range allocs {
@@ -240,7 +346,6 @@ func (s Schedule) Validate(pk Packer, in1, in0 []int) error {
 			return fmt.Errorf("unit %d: write-1 allocated %d, need %d", u, total, in1[u])
 		}
 	}
-	maxSub := s.Result*s.K + s.SubResult
 	for u, allocs := range s.Write0 {
 		total := 0
 		for _, a := range allocs {

@@ -25,6 +25,10 @@ func (s *scheme) PlanPreset(addr pcm.LineAddr, old []byte) schemes.Plan {
 		CurrentReset: s.par.CurrentReset,
 		Read:         s.par.TRead,
 	}
+	// Presets run on the idle path, so they allocate freely — but they
+	// still draw the pulse buffer from the arena so plan recycling stays
+	// uniform across both plan kinds.
+	p.Pulses = s.TakePulses()
 	nu := s.par.DataUnits()
 	nc := s.par.NumChips
 	k := s.par.K()

@@ -45,6 +45,17 @@ type scheme struct {
 	in1, in0 []int
 	cellBuf  []cellRef
 	maskBuf  []uint16 // per chip
+	pack     Scratch
+	emitBuf  []emission
+	cache    schedCache
+
+	schemes.PulseArena
+}
+
+// emission is one packed domain awaiting pulse emission.
+type emission struct {
+	sched Schedule
+	dom   packDomain
 }
 
 // packDomain is one power domain handed to the packer.
@@ -81,6 +92,7 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 		Read:         s.par.TRead,
 		Analysis:     s.par.MemClock.Cycles(int64(s.opt.AnalysisCycles)),
 	}
+	p.Pulses = s.TakePulses()
 
 	nu := s.par.DataUnits()
 	nc := s.par.NumChips
@@ -137,11 +149,8 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 	domains := s.domains
 
 	maxResult, maxSub := 0, 0
-	type emission struct {
-		sched Schedule
-		dom   packDomain
-	}
-	var emissions []emission
+	emissions := s.emitBuf[:0]
+	s.pack.Reset() // reclaims the schedules of the previous write
 	if len(s.in1) != nu {
 		s.in1 = make([]int, nu)
 		s.in0 = make([]int, nu)
@@ -175,7 +184,17 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 			Cost0:        s.par.CurrentReset,
 			MinResult:    minResult,
 		}
-		sched := pk.Pack(in1, in0)
+		// Memo cache: many lines (SET-dominant zero fills, repeated
+		// stores) reduce to the same packing problem, so the count
+		// vector memoizes the whole analysis stage. Pack is a pure
+		// function of (pk, in1, in0) and the key covers every varying
+		// field, so a hit is bit-identical to repacking. Misses fall
+		// through to the scratch arena.
+		sched, hit := s.cache.lookup(pk, in1, in0)
+		if !hit {
+			sched = pk.PackInto(&s.pack, in1, in0)
+			s.cache.store(pk, in1, in0, sched)
+		}
 
 		// Flip-cell RESET riders only need a Treset-long span.
 		for u := 0; u < nu; u++ {
@@ -195,6 +214,7 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 		}
 		emissions = append(emissions, emission{sched: sched, dom: dom})
 	}
+	s.emitBuf = emissions // keep the grown backing array for the next write
 
 	// Sub-slot pitch: Tset/K, so Equation 5 holds exactly and a RESET
 	// pulse (Treset <= Tset/K) always fits its sub-slot.
