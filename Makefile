@@ -2,9 +2,10 @@
 
 GO ?= go
 FUZZTIME ?= 10s
-# The gated hot-path benchmarks: per-write planning cost and one full
-# system simulation end to end.
-BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkFullSystemSingle
+# The gated hot-path benchmarks: per-write planning cost, one full
+# system simulation end to end, and the long-trace event-engine sweep
+# (timing wheel vs the seed binary heap across pending populations).
+BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkFullSystemSingle|BenchmarkEngineLongTrace
 BENCHCOUNT ?= 3
 
 .PHONY: build test race fuzz-smoke bench bench-baseline bench-gate
@@ -29,9 +30,12 @@ fuzz-smoke:
 
 # Run the gated benchmarks and leave the output in bench_new.txt for
 # benchgate. -count=$(BENCHCOUNT): benchgate takes the best run per
-# benchmark, discarding scheduler noise.
+# benchmark, discarding scheduler noise. Also refreshes the
+# BENCH_<date>.json perf-trajectory artifact in the repo root, so the
+# local tree carries the same history CI uploads.
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCHFILTER)' -benchmem -count=$(BENCHCOUNT) . | tee bench_new.txt
+	$(GO) run ./cmd/tetrisbench -bench-json -writes 200
 
 # Refresh the committed baseline. Run on a quiet machine after an
 # intentional performance change; the diff is part of the review.

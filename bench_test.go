@@ -13,7 +13,9 @@ import (
 
 	"tetriswrite/internal/exp"
 	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
 	"tetriswrite/internal/system"
+	"tetriswrite/internal/units"
 	"tetriswrite/internal/workload"
 )
 
@@ -191,6 +193,85 @@ func BenchmarkSchemePlanWrite(b *testing.B) {
 				cycle(i)
 			}
 		})
+	}
+}
+
+// benchEngineLongTrace drives the bare event engine through the steady
+// state of a long trace replay: a large in-flight event population where
+// every popped event reschedules itself with a delay drawn from the
+// memory system's mix (same-cycle follow-ups, device-timing delays in
+// the tens of ns to tens of us, rare far-future maintenance work). One
+// op is one event, so the default 1 s bench time processes well over
+// 10M events — the scale at which the seed engine's O(log n) heap and
+// its pointer-chasing comparisons dominate, and the regime the ROADMAP's
+// million-user traces live in.
+func benchEngineLongTrace(b *testing.B, kind sim.QueueKind, population int) {
+	// The delay stream is precomputed so the measured loop is queue cost,
+	// not random-number generation; both variants replay the same table.
+	delays := longTraceDelays(1 << 16)
+	eng := sim.NewEngine(kind)
+	pos := 0
+	var fn func()
+	fn = func() {
+		eng.After(delays[pos&(len(delays)-1)], fn)
+		pos++
+	}
+	for i := 0; i < population; i++ {
+		fn()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// longTraceDelays builds a deterministic delay table modelling a memory
+// system's event mix: 10% same-cycle follow-ups (queue drains, callback
+// chains), 75% device-timing delays (tRead up to a long write), 14%
+// scheduling-horizon delays up to 100 us, and 1% far-future maintenance
+// work beyond the wheel span (exercising the overflow heap).
+func longTraceDelays(n int) []units.Duration {
+	rng := uint64(1)
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	out := make([]units.Duration, n)
+	for i := range out {
+		r := next()
+		switch c := r % 100; {
+		case c < 10:
+			out[i] = 0
+		case c < 85:
+			out[i] = 60*units.Nanosecond + units.Duration(r>>8)%(4*units.Microsecond)
+		case c < 99:
+			out[i] = units.Duration(r>>8) % (100 * units.Microsecond)
+		default:
+			out[i] = 2 * units.Second
+		}
+	}
+	return out
+}
+
+// BenchmarkEngineLongTrace compares the timing-wheel engine (the
+// default) against the seed binary heap on the long-trace event pattern,
+// across pending-population sizes: 4Ki ≈ a loaded single-rank
+// configuration, 32Ki ≈ a deep multi-bank write queue plus every
+// outstanding read and wear-leveling timer, 128Ki ≈ the ROADMAP's
+// million-user trace regime. The two variants replay the identical
+// deterministic schedule; the ns/op gap is pure data-structure cost, and
+// the heap's O(log n) comparisons widen it as the population grows.
+func BenchmarkEngineLongTrace(b *testing.B) {
+	for _, pop := range []struct {
+		name string
+		n    int
+	}{{"4Ki", 1 << 12}, {"32Ki", 1 << 15}, {"128Ki", 1 << 17}} {
+		b.Run("wheel-"+pop.name, func(b *testing.B) { benchEngineLongTrace(b, sim.QueueWheel, pop.n) })
+		b.Run("heap-"+pop.name, func(b *testing.B) { benchEngineLongTrace(b, sim.QueueHeap, pop.n) })
 	}
 }
 

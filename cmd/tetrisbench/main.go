@@ -31,6 +31,7 @@ import (
 	"tetriswrite/internal/exp"
 	"tetriswrite/internal/mlc"
 	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/sim"
 	"tetriswrite/internal/stats"
 	"tetriswrite/internal/units"
 )
@@ -60,6 +61,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		seq    = fs.Bool("sequential", false, "disable parallel simulation")
 		par    = fs.Int("parallel", 0, "concurrent full-system simulations (0 = all CPUs; tables are bit-identical at any value)")
 		runTO  = fs.Duration("run-timeout", 0, "wall-clock limit per full-system simulation, e.g. 5m (0 = none)")
+		engine = fs.String("engine", "", "event queue implementation: wheel (default) or heap; tables are bit-identical")
 		energy = fs.Bool("energy", false, "also print the energy-per-write table with the full-system figures")
 		sweep  = fs.String("sweep", "", "extra sweep beyond the paper: 'line' (64/128/256 B) or 'budget' (32..4)")
 		endur  = fs.Bool("endurance", false, "also run the endurance (wear leveling) table")
@@ -86,6 +88,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *runTO < 0 {
 		return fmt.Errorf("-run-timeout %v: cannot be negative", *runTO)
 	}
+	if !sim.QueueKind(*engine).Valid() {
+		return fmt.Errorf("-engine %q: want wheel or heap", *engine)
+	}
 	opt := exp.Options{
 		Writes:      *writes,
 		InstrBudget: *instr,
@@ -94,6 +99,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Sequential:  *seq,
 		Parallel:    *par,
 		RunTimeout:  *runTO,
+		EngineQueue: sim.QueueKind(*engine),
 	}
 	if *epochStr != "" {
 		epoch, err := units.ParseDuration(*epochStr)

@@ -20,6 +20,7 @@ package cache
 import (
 	"fmt"
 
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/sim"
 	"tetriswrite/internal/units"
@@ -379,21 +380,20 @@ func (h *Hierarchy) Flush(force func(addr pcm.LineAddr, data []byte)) int {
 	// flush top-down so the freshest data wins last... rather: collect
 	// the freshest copy per address by walking top-down and skipping
 	// addresses already flushed.
-	seen := map[pcm.LineAddr]bool{}
+	seen := linestore.NewSet()
 	for _, l := range h.levels {
 		for si, set := range l.sets {
 			for _, ln := range set {
 				addr := pcm.LineAddr(ln.tag*int64(len(l.sets)) + int64(si))
-				if ln.dirty && !seen[addr] {
+				if seen.Add(int64(addr)) && ln.dirty {
 					force(addr, ln.data)
 					n++
 				}
-				seen[addr] = true
 			}
 		}
 	}
 	for _, wb := range h.wbBuf {
-		if !seen[wb.addr] {
+		if !seen.Has(int64(wb.addr)) {
 			force(wb.addr, wb.data)
 			n++
 		}

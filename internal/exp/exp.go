@@ -12,10 +12,12 @@ import (
 	"time"
 
 	"tetriswrite/internal/guard"
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/runner"
 	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
 	"tetriswrite/internal/stats"
 	"tetriswrite/internal/system"
 	"tetriswrite/internal/tetris"
@@ -76,6 +78,11 @@ type Options struct {
 	// full-system run; a violation aborts that cell and surfaces in
 	// FullResults.Errs.
 	Guard guard.Config
+	// EngineQueue selects the simulation engine's event-queue backend
+	// for every full-system cell (sim.QueueWheel, the default, or
+	// sim.QueueHeap). Results are bit-identical either way; the knob
+	// exists for A/B benchmarking and cross-checking.
+	EngineQueue sim.QueueKind
 }
 
 // Normalize fills defaults.
@@ -106,14 +113,16 @@ func writeStream(prof workload.Profile, opt Options, fn func(addr pcm.LineAddr, 
 	for i := range gens {
 		gens[i] = prog.Generator(i)
 	}
-	device := map[pcm.LineAddr][]byte{}
+	device := linestore.NewStore(linestore.Words(opt.Params.LineBytes))
+	oldBuf := make([]byte, opt.Params.LineBytes)
 	stored := func(addr pcm.LineAddr) []byte {
-		if l, ok := device[addr]; ok {
-			return l
+		w := device.Get(int64(addr))
+		if w == nil {
+			w = device.Ensure(int64(addr))
+			linestore.PackLine(w, prog.InitialContents(addr))
 		}
-		l := prog.InitialContents(addr)
-		device[addr] = l
-		return l
+		linestore.UnpackLine(oldBuf, w)
+		return oldBuf
 	}
 	writes := 0
 	for writes < opt.Writes {
@@ -124,7 +133,7 @@ func writeStream(prof workload.Profile, opt Options, fn func(addr pcm.LineAddr, 
 			}
 			old := stored(op.Addr)
 			fn(op.Addr, old, op.Data)
-			device[op.Addr] = op.Data
+			linestore.PackLine(device.Ensure(int64(op.Addr)), op.Data)
 			writes++
 			if writes >= opt.Writes {
 				return
@@ -148,10 +157,11 @@ func Figure3(opt Options) *stats.Table {
 	for _, prof := range workload.Profiles() {
 		// Count with the Tetris read stage itself: per chip slice,
 		// inversion then transition counting; aggregate to 64-bit units.
-		flips := map[pcm.LineAddr]uint64{}
+		flips := linestore.NewStore(1)
 		var sets, resets, unitsSeen float64
 		writeStream(prof, opt, func(addr pcm.LineAddr, old, new []byte) {
-			fw := flips[addr]
+			slot := flips.Ensure(int64(addr))
+			fw := slot[0]
 			for u := 0; u < nu; u++ {
 				for c := 0; c < nc; c++ {
 					bit := uint(u*nc + c)
@@ -168,7 +178,7 @@ func Figure3(opt Options) *stats.Table {
 				}
 				unitsSeen++
 			}
-			flips[addr] = fw
+			slot[0] = fw
 		})
 		r := resets / unitsSeen
 		s := sets / unitsSeen
@@ -325,6 +335,7 @@ func RunFullSystemCtx(ctx context.Context, opt Options) (*FullResults, error) {
 						Ctrl:        memctrl.Config{},
 						Epoch:       opt.Epoch,
 						Guard:       opt.Guard,
+						EngineQueue: opt.EngineQueue,
 					}
 					return system.RunCtx(ctx, fr.Profiles[w], fr.Schemes[s].Factory, cfg)
 				},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/units"
 )
@@ -43,8 +44,9 @@ type SpareRemapper struct {
 	// pending holds repair writes the controller had no queue space for,
 	// drained via WhenWriteSpace exactly like wearlevel.Remapper does for
 	// gap-move copies. Reads to a slot with a pending repair are served
-	// from the pending data.
-	pending  map[pcm.LineAddr][]byte
+	// from the pending data. Draining stays in ascending address order
+	// (see drainPending), unchanged from the original map + sort.
+	pending  *linestore.Pending
 	retrying bool
 
 	stats SpareStats
@@ -74,7 +76,7 @@ func NewSpareRemapper(mem Mem, base pcm.LineAddr, n int, snoop func(pcm.LineAddr
 		spareBase: base,
 		spareN:    n,
 		remap:     make(map[pcm.LineAddr]pcm.LineAddr),
-		pending:   make(map[pcm.LineAddr][]byte),
+		pending:   linestore.NewPending(),
 	}, nil
 }
 
@@ -102,7 +104,7 @@ func (s *SpareRemapper) Translate(addr pcm.LineAddr) pcm.LineAddr {
 // controller's own store-forwarding.
 func (s *SpareRemapper) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool {
 	phys := s.Translate(addr)
-	if data, ok := s.pending[phys]; ok {
+	if data, ok := s.pending.Get(int64(phys)); ok {
 		return s.mem.SubmitRead(phys, func(at units.Time, _ []byte) {
 			onDone(at, append([]byte(nil), data...))
 		})
@@ -118,7 +120,7 @@ func (s *SpareRemapper) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(
 	if !s.mem.SubmitWrite(phys, data, onDone) {
 		return false
 	}
-	delete(s.pending, phys)
+	s.pending.Delete(int64(phys))
 	return true
 }
 
@@ -129,7 +131,7 @@ func (s *SpareRemapper) WhenWriteSpace(fn func()) { s.mem.WhenWriteSpace(fn) }
 // remap table, for layers above (Start-Gap gap moves).
 func (s *SpareRemapper) Snoop(addr pcm.LineAddr, dst []byte) {
 	phys := s.Translate(addr)
-	if data, ok := s.pending[phys]; ok {
+	if data, ok := s.pending.Get(int64(phys)); ok {
 		copy(dst, data)
 		return
 	}
@@ -166,7 +168,7 @@ func (s *SpareRemapper) OnHardError(addr pcm.LineAddr, want []byte) {
 // repair queues the failed write's data at its new slot.
 func (s *SpareRemapper) repair(slot pcm.LineAddr, want []byte) {
 	s.stats.RepairWrites++
-	s.pending[slot] = append([]byte(nil), want...)
+	s.pending.Put(int64(slot), append([]byte(nil), want...))
 	s.drainPending()
 }
 
@@ -174,13 +176,15 @@ func (s *SpareRemapper) repair(slot pcm.LineAddr, want []byte) {
 // address order: map iteration order must not leak into the simulation's
 // event order, or the same-seed determinism guarantee breaks.
 func (s *SpareRemapper) drainPending() {
-	addrs := make([]pcm.LineAddr, 0, len(s.pending))
-	for addr := range s.pending {
+	addrs := make([]linestore.Addr, 0, s.pending.Len())
+	s.pending.Range(func(addr linestore.Addr, _ []byte) bool {
 		addrs = append(addrs, addr)
-	}
+		return true
+	})
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, addr := range addrs {
-		if !s.mem.SubmitWrite(addr, s.pending[addr], nil) {
+		data, _ := s.pending.Get(addr)
+		if !s.mem.SubmitWrite(pcm.LineAddr(addr), data, nil) {
 			if !s.retrying {
 				s.retrying = true
 				s.mem.WhenWriteSpace(func() {
@@ -190,7 +194,7 @@ func (s *SpareRemapper) drainPending() {
 			}
 			return
 		}
-		delete(s.pending, addr)
+		s.pending.Delete(addr)
 	}
 }
 

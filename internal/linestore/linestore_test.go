@@ -1,0 +1,239 @@
+package linestore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestStoreOracle round-trips a random operation sequence against a
+// map[Addr][]byte oracle: every Get/Ensure/Len observation must match
+// what the plain map would report.
+func TestStoreOracle(t *testing.T) {
+	const (
+		wpl   = 8
+		ops   = 200_000
+		space = 1 << 14 // addresses collide often enough to hit every probe path
+	)
+	rng := rand.New(rand.NewSource(42))
+	s := NewStore(wpl)
+	oracle := make(map[Addr][]uint64)
+	for op := 0; op < ops; op++ {
+		addr := Addr(rng.Int63n(space))
+		switch rng.Intn(4) {
+		case 0: // read
+			got := s.Get(addr)
+			want := oracle[addr]
+			if (got == nil) != (want == nil) {
+				t.Fatalf("op %d: Get(%d) presence mismatch: store %v, oracle %v", op, addr, got != nil, want != nil)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("op %d: Get(%d) word %d: store %#x, oracle %#x", op, addr, i, got[i], want[i])
+				}
+			}
+		case 1: // ensure + verify zero-fill or existing contents
+			got := s.Ensure(addr)
+			if want, ok := oracle[addr]; ok {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("op %d: Ensure(%d) word %d: store %#x, oracle %#x", op, addr, i, got[i], want[i])
+					}
+				}
+			} else {
+				for i, w := range got {
+					if w != 0 {
+						t.Fatalf("op %d: Ensure(%d) new line word %d not zero: %#x", op, addr, i, w)
+					}
+				}
+				oracle[addr] = make([]uint64, wpl)
+			}
+		default: // write through Ensure
+			words := s.Ensure(addr)
+			if _, ok := oracle[addr]; !ok {
+				oracle[addr] = make([]uint64, wpl)
+			}
+			w := oracle[addr]
+			i := rng.Intn(wpl)
+			v := rng.Uint64()
+			words[i] = v
+			w[i] = v
+		}
+	}
+	if s.Len() != len(oracle) {
+		t.Fatalf("Len: store %d, oracle %d", s.Len(), len(oracle))
+	}
+	// Full sweep: every oracle line present with identical contents, and
+	// Range visits each stored line exactly once.
+	seen := make(map[Addr]int)
+	s.Range(func(addr Addr, words []uint64) bool {
+		seen[addr]++
+		want, ok := oracle[addr]
+		if !ok {
+			t.Fatalf("Range visited %d which oracle lacks", addr)
+		}
+		for i := range want {
+			if words[i] != want[i] {
+				t.Fatalf("Range(%d) word %d: store %#x, oracle %#x", addr, i, words[i], want[i])
+			}
+		}
+		return true
+	})
+	for addr, n := range seen {
+		if n != 1 {
+			t.Fatalf("Range visited %d %d times", addr, n)
+		}
+	}
+	if len(seen) != len(oracle) {
+		t.Fatalf("Range visited %d lines, oracle has %d", len(seen), len(oracle))
+	}
+}
+
+// TestStoreByteOracle drives the store through the byte-level pack and
+// unpack helpers against a map[Addr][]byte oracle — the exact usage
+// pattern of pcm.Device and the workload shadow.
+func TestStoreByteOracle(t *testing.T) {
+	for _, lineBytes := range []int{64, 32, 13} { // incl. a non-multiple-of-8 tail
+		wpl := Words(lineBytes)
+		s := NewStore(wpl)
+		oracle := make(map[Addr][]byte)
+		rng := rand.New(rand.NewSource(7))
+		buf := make([]byte, lineBytes)
+		for op := 0; op < 50_000; op++ {
+			addr := Addr(rng.Int63n(1 << 12))
+			if rng.Intn(2) == 0 { // write a random image
+				for i := range buf {
+					buf[i] = byte(rng.Intn(256))
+				}
+				PackLine(s.Ensure(addr), buf)
+				oracle[addr] = append([]byte(nil), buf...)
+			} else { // read back
+				words := s.Get(addr)
+				want, ok := oracle[addr]
+				if (words == nil) != !ok {
+					t.Fatalf("lineBytes %d op %d: presence mismatch at %d", lineBytes, op, addr)
+				}
+				if words == nil {
+					continue
+				}
+				UnpackLine(buf, words)
+				for i := range want {
+					if buf[i] != want[i] {
+						t.Fatalf("lineBytes %d op %d: addr %d byte %d: store %#x, oracle %#x",
+							lineBytes, op, addr, i, buf[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSetOracle exercises Add/Has/Delete (with its backward-shift
+// compaction) against a map oracle under heavy churn.
+func TestSetOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := NewSet()
+	oracle := make(map[Addr]bool)
+	for op := 0; op < 300_000; op++ {
+		addr := Addr(rng.Int63n(1 << 12))
+		switch rng.Intn(3) {
+		case 0:
+			added := s.Add(addr)
+			if added == oracle[addr] {
+				t.Fatalf("op %d: Add(%d) returned %v with oracle %v", op, addr, added, oracle[addr])
+			}
+			oracle[addr] = true
+		case 1:
+			if got := s.Has(addr); got != oracle[addr] {
+				t.Fatalf("op %d: Has(%d) = %v, oracle %v", op, addr, got, oracle[addr])
+			}
+		default:
+			removed := s.Delete(addr)
+			if removed != oracle[addr] {
+				t.Fatalf("op %d: Delete(%d) = %v, oracle %v", op, addr, removed, oracle[addr])
+			}
+			delete(oracle, addr)
+		}
+	}
+	if s.Len() != len(oracle) {
+		t.Fatalf("Len: set %d, oracle %d", s.Len(), len(oracle))
+	}
+	for addr := range oracle {
+		if !s.Has(addr) {
+			t.Fatalf("final sweep: %d missing from set", addr)
+		}
+	}
+}
+
+// TestPendingOrder pins the contract that justifies Pending's existence:
+// drain order is insertion order, stable across deletes, re-inserts and
+// compaction.
+func TestPendingOrder(t *testing.T) {
+	p := NewPending()
+	rng := rand.New(rand.NewSource(5))
+	var insertOrder []Addr
+	live := make(map[Addr][]byte)
+	pos := make(map[Addr]int) // first-live-insertion sequence
+	seq := 0
+	for op := 0; op < 100_000; op++ {
+		addr := Addr(rng.Int63n(256))
+		switch rng.Intn(4) {
+		case 0, 1:
+			buf := []byte{byte(op), byte(op >> 8)}
+			if _, ok := live[addr]; !ok {
+				insertOrder = append(insertOrder, addr)
+				pos[addr] = seq
+				seq++
+			}
+			live[addr] = buf
+			p.Put(addr, buf)
+		case 2:
+			want := false
+			if _, ok := live[addr]; ok {
+				want = true
+			}
+			if got := p.Delete(addr); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, addr, got, want)
+			}
+			if want {
+				delete(live, addr)
+				delete(pos, addr)
+			}
+		default:
+			buf, ok := p.Get(addr)
+			wantBuf, wantOk := live[addr]
+			if ok != wantOk {
+				t.Fatalf("op %d: Get(%d) presence %v, want %v", op, addr, ok, wantOk)
+			}
+			if ok && &buf[0] != &wantBuf[0] {
+				t.Fatalf("op %d: Get(%d) did not return the stored buffer by reference", op, addr)
+			}
+		}
+	}
+	if p.Len() != len(live) {
+		t.Fatalf("Len: pending %d, oracle %d", p.Len(), len(live))
+	}
+	// Drain order must be ascending first-insertion sequence.
+	var drained []Addr
+	p.Range(func(addr Addr, buf []byte) bool {
+		drained = append(drained, addr)
+		if want := live[addr]; &buf[0] != &want[0] {
+			t.Fatalf("Range(%d) returned a copy, not the stored reference", addr)
+		}
+		return true
+	})
+	if len(drained) != len(live) {
+		t.Fatalf("Range visited %d entries, want %d", len(drained), len(live))
+	}
+	if !sort.SliceIsSorted(drained, func(i, j int) bool { return pos[drained[i]] < pos[drained[j]] }) {
+		t.Fatalf("Range order is not insertion order: %v", drained)
+	}
+	// Delete-during-Range: drain everything.
+	p.Range(func(addr Addr, buf []byte) bool {
+		p.Delete(addr)
+		return true
+	})
+	if p.Len() != 0 {
+		t.Fatalf("drain left %d entries", p.Len())
+	}
+}

@@ -1,0 +1,135 @@
+package linestore
+
+// Set is an open-addressing address set with the Store's sharding and
+// hash, replacing map[pcm.LineAddr]struct{} / map[pcm.LineAddr]bool in
+// the hot paths that only track membership. Deletion uses backward-shift
+// compaction (no tombstones), so long-lived churn — the memory
+// controller's preset hints come and go millions of times — never
+// degrades probe lengths.
+type Set struct {
+	shards [numShards]setShard
+}
+
+type setShard struct {
+	keys []Addr
+	n    int
+}
+
+// NewSet creates an empty set.
+func NewSet() *Set { return &Set{} }
+
+// Len returns the number of addresses in the set.
+func (s *Set) Len() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].n
+	}
+	return n
+}
+
+func (sh *setShard) grow() {
+	newCap := minSlots
+	if len(sh.keys) > 0 {
+		newCap = len(sh.keys) * 2
+	}
+	old := sh.keys
+	sh.keys = make([]Addr, newCap)
+	for i := range sh.keys {
+		sh.keys[i] = emptyKey
+	}
+	mask := uint64(newCap - 1)
+	for _, k := range old {
+		if k == emptyKey {
+			continue
+		}
+		j := hashAddr(k) & mask
+		for sh.keys[j] != emptyKey {
+			j = (j + 1) & mask
+		}
+		sh.keys[j] = k
+	}
+}
+
+// Add inserts addr, reporting whether it was newly added.
+func (s *Set) Add(addr Addr) bool {
+	if addr < 0 {
+		panic("linestore: negative line address")
+	}
+	h := hashAddr(addr)
+	sh := &s.shards[(h>>shardShift)&(numShards-1)]
+	if maxLoadDen*(sh.n+1) > maxLoadNum*len(sh.keys) {
+		sh.grow()
+	}
+	mask := uint64(len(sh.keys) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch sh.keys[i] {
+		case addr:
+			return false
+		case emptyKey:
+			sh.keys[i] = addr
+			sh.n++
+			return true
+		}
+	}
+}
+
+// Has reports membership.
+func (s *Set) Has(addr Addr) bool {
+	h := hashAddr(addr)
+	sh := &s.shards[(h>>shardShift)&(numShards-1)]
+	if sh.n == 0 {
+		return false
+	}
+	mask := uint64(len(sh.keys) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch sh.keys[i] {
+		case addr:
+			return true
+		case emptyKey:
+			return false
+		}
+	}
+}
+
+// Delete removes addr, reporting whether it was present. The vacated
+// slot is refilled by shifting the following probe-chain entries back,
+// preserving lookup invariants without tombstones.
+func (s *Set) Delete(addr Addr) bool {
+	h := hashAddr(addr)
+	sh := &s.shards[(h>>shardShift)&(numShards-1)]
+	if sh.n == 0 {
+		return false
+	}
+	mask := uint64(len(sh.keys) - 1)
+	i := h & mask
+	for {
+		switch sh.keys[i] {
+		case addr:
+			goto found
+		case emptyKey:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+found:
+	// Backward-shift: walk the chain after i; any entry whose home slot
+	// is outside the (hole, entry] circular interval can fill the hole.
+	j := i
+	for {
+		j = (j + 1) & mask
+		k := sh.keys[j]
+		if k == emptyKey {
+			break
+		}
+		home := hashAddr(k) & mask
+		// Move k back when the hole does not sit circularly between its
+		// home and its current slot.
+		if (j-home)&mask >= (j-i)&mask {
+			sh.keys[i] = k
+			i = j
+		}
+	}
+	sh.keys[i] = emptyKey
+	sh.n--
+	return true
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"tetriswrite/internal/guard"
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/sim"
@@ -201,7 +202,7 @@ type Controller struct {
 
 	// PreSET state.
 	presetQ    []pcm.LineAddr
-	presetSet  map[pcm.LineAddr]bool
+	presetSet  *linestore.Set
 	stillDirty func(pcm.LineAddr) bool
 	allOnes    []byte
 
@@ -858,16 +859,16 @@ func (c *Controller) PresetHint(addr pcm.LineAddr) {
 		return
 	}
 	if c.presetSet == nil {
-		c.presetSet = make(map[pcm.LineAddr]bool)
+		c.presetSet = linestore.NewSet()
 	}
-	if c.presetSet[addr] {
+	if c.presetSet.Has(int64(addr)) {
 		return
 	}
 	if len(c.presetQ) >= c.cfg.PresetQueue {
 		c.stats.PresetDropped++
 		return
 	}
-	c.presetSet[addr] = true
+	c.presetSet.Add(int64(addr))
 	c.presetQ = append(c.presetQ, addr)
 	c.schedule()
 }
@@ -890,7 +891,7 @@ func (c *Controller) tryPreset(b *bank) bool {
 			continue
 		}
 		c.presetQ = append(c.presetQ[:i], c.presetQ[i+1:]...)
-		delete(c.presetSet, addr)
+		c.presetSet.Delete(int64(addr))
 		// Stale hints: the line was cleaned (written back) or has a
 		// write queued; presetting now would destroy live data.
 		if !c.stillDirty(addr) || c.hasQueuedWrite(addr) {

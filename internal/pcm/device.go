@@ -2,7 +2,10 @@ package pcm
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+
+	"tetriswrite/internal/linestore"
 )
 
 // LineAddr identifies one cache-line-sized region of the PCM address
@@ -25,6 +28,11 @@ type FaultModel interface {
 // energy and wear accounting. Contents are stored sparsely; untouched
 // lines read as all zeros, matching a freshly RESET array.
 //
+// Lines live inline in a sharded open-addressing store as little-endian
+// uint64 words, so the diff/popcount accounting in WriteLine runs on
+// eight word XORs instead of sixty-four byte operations and the line
+// state costs the garbage collector nothing per line.
+//
 // Device is safe for concurrent use; the full-system simulator services
 // several banks from one device, and parallel experiment sweeps share
 // read-only parameters but never a Device.
@@ -32,10 +40,14 @@ type Device struct {
 	params Params
 
 	mu    sync.Mutex
-	lines map[LineAddr][]byte
+	lines *linestore.Store
 	stats DeviceStats
 	wear  *WearTracker // optional per-line wear accounting
 	fault FaultModel   // optional cell-failure model (nil = ideal device)
+
+	// scratch buffers for the byte-facing fault-model bridge; guarded by
+	// mu like the store itself.
+	oldBuf, newBuf []byte
 }
 
 // DeviceStats aggregates programming activity on a device. All counters
@@ -57,7 +69,9 @@ func NewDevice(p Params) (*Device, error) {
 	}
 	return &Device{
 		params: p,
-		lines:  make(map[LineAddr][]byte),
+		lines:  linestore.NewStore(linestore.Words(p.LineBytes)),
+		oldBuf: make([]byte, p.LineBytes),
+		newBuf: make([]byte, p.LineBytes),
 	}, nil
 }
 
@@ -80,6 +94,14 @@ func (d *Device) checkAddr(addr LineAddr) {
 	}
 }
 
+// StoreOccupancy reports the line store's footprint for telemetry:
+// distinct lines stored, slot capacity, and load factor.
+func (d *Device) StoreOccupancy() (lines, capacity int, load float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lines.Len(), d.lines.Capacity(), d.lines.LoadFactor()
+}
+
 // ReadLine copies the stored contents of addr into dst, which must be
 // exactly one line long. It counts as one array read.
 func (d *Device) ReadLine(addr LineAddr, dst []byte) {
@@ -90,16 +112,7 @@ func (d *Device) ReadLine(addr LineAddr, dst []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats.LineReads++
-	if stored, ok := d.lines[addr]; ok {
-		copy(dst, stored)
-	} else {
-		for i := range dst {
-			dst[i] = 0
-		}
-	}
-	if d.fault != nil {
-		d.fault.ApplyRead(addr, dst)
-	}
+	d.peekLocked(addr, dst)
 }
 
 // PeekLine is ReadLine without the statistics side effect, for checkers
@@ -111,8 +124,12 @@ func (d *Device) PeekLine(addr LineAddr, dst []byte) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if stored, ok := d.lines[addr]; ok {
-		copy(dst, stored)
+	d.peekLocked(addr, dst)
+}
+
+func (d *Device) peekLocked(addr LineAddr, dst []byte) {
+	if stored := d.lines.Get(int64(addr)); stored != nil {
+		linestore.UnpackLine(dst, stored)
 	} else {
 		for i := range dst {
 			dst[i] = 0
@@ -143,24 +160,44 @@ func (d *Device) WriteLine(addr LineAddr, data []byte) (sets, resets int) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	stored, ok := d.lines[addr]
-	if !ok {
-		stored = make([]byte, d.params.LineBytes)
-		d.lines[addr] = stored
+	stored := d.lines.Ensure(int64(addr))
+	if d.fault == nil {
+		// Common case: diff and store entirely in words. The loop is
+		// eight XOR+popcount pairs for a 64-byte line.
+		n := len(data) / 8
+		for i := 0; i < n; i++ {
+			w := uint64(data[i*8]) | uint64(data[i*8+1])<<8 |
+				uint64(data[i*8+2])<<16 | uint64(data[i*8+3])<<24 |
+				uint64(data[i*8+4])<<32 | uint64(data[i*8+5])<<40 |
+				uint64(data[i*8+6])<<48 | uint64(data[i*8+7])<<56
+			old := stored[i]
+			diff := old ^ w
+			sets += bits.OnesCount64(diff & w)
+			resets += bits.OnesCount64(diff & old)
+			stored[i] = w
+		}
+		for i := n * 8; i < len(data); i++ { // tail when LineBytes % 8 != 0
+			wi, sh := i/8, uint(8*(i&7))
+			oldB := byte(stored[wi] >> sh)
+			diff := oldB ^ data[i]
+			sets += bits.OnesCount8(diff & data[i])
+			resets += bits.OnesCount8(diff & oldB)
+			stored[wi] = stored[wi]&^(0xFF<<sh) | uint64(data[i])<<sh
+		}
+	} else {
+		// Fault path: the model works on bytes, so bridge through the
+		// device-owned scratch buffers (no per-write allocation).
+		old, landed := d.oldBuf, d.newBuf
+		linestore.UnpackLine(old, stored)
+		copy(landed, data)
+		for i := range data {
+			diff := old[i] ^ data[i]
+			sets += bits.OnesCount8(diff & data[i])
+			resets += bits.OnesCount8(diff & old[i])
+		}
+		d.fault.ApplyWrite(addr, old, landed)
+		linestore.PackLine(stored, landed)
 	}
-	for i := range data {
-		diff := stored[i] ^ data[i]
-		setMask := diff & data[i]
-		resetMask := diff & stored[i]
-		sets += popcount8(setMask)
-		resets += popcount8(resetMask)
-	}
-	landed := data
-	if d.fault != nil {
-		landed = append([]byte(nil), data...)
-		d.fault.ApplyWrite(addr, stored, landed)
-	}
-	copy(stored, landed)
 	d.stats.LineWrites++
 	d.stats.BitSets += int64(sets)
 	d.stats.BitResets += int64(resets)
@@ -189,14 +226,6 @@ func (d *Device) AttachFaults(f FaultModel) {
 	d.fault = f
 }
 
-func popcount8(b byte) int {
-	n := 0
-	for ; b != 0; b &= b - 1 {
-		n++
-	}
-	return n
-}
-
 // Preload installs a line's contents without any statistics side
 // effects. Simulators use it to set up a workload's initial memory image
 // before timing starts; a nil or all-zero data leaves the line untouched
@@ -211,12 +240,7 @@ func (d *Device) Preload(addr LineAddr, data []byte) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	stored, ok := d.lines[addr]
-	if !ok {
-		stored = make([]byte, d.params.LineBytes)
-		d.lines[addr] = stored
-	}
-	copy(stored, data)
+	linestore.PackLine(d.lines.Ensure(int64(addr)), data)
 }
 
 // Stats returns a snapshot of the device counters.
@@ -231,5 +255,5 @@ func (d *Device) Stats() DeviceStats {
 func (d *Device) TouchedLines() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.lines)
+	return d.lines.Len()
 }

@@ -24,3 +24,24 @@ func (d *Device) RegisterMetrics(reg *telemetry.Registry) {
 		return float64(d.TouchedLines())
 	})
 }
+
+// RegisterStoreMetrics exposes the line store's footprint under
+// pcm.linestore.*: occupancy (stored lines), slot capacity, and load
+// factor. These are the health signals of the sharded open-addressing
+// table that replaced the line map — a load factor pinned near the grow
+// threshold or a capacity far above occupancy both mean the store, not
+// the array, is what a profile would show.
+func (d *Device) RegisterStoreMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("pcm.linestore.lines", "lines held by the inline store", func() float64 {
+		lines, _, _ := d.StoreOccupancy()
+		return float64(lines)
+	})
+	reg.GaugeFunc("pcm.linestore.capacity", "slot capacity of the inline store", func() float64 {
+		_, capacity, _ := d.StoreOccupancy()
+		return float64(capacity)
+	})
+	reg.GaugeFunc("pcm.linestore.load_factor", "stored lines over slot capacity", func() float64 {
+		_, _, load := d.StoreOccupancy()
+		return load
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/units"
 )
@@ -14,32 +15,55 @@ import (
 // tests and examples can verify that whatever a scheme schedules actually
 // leaves the right bits in the array. A fresh Array is all zeros with all
 // flip cells cleared, matching a fresh Device and fresh scheme state.
+//
+// Lines are stored inline in a linestore.Store: four 16-bit cell words
+// per uint64, followed by a flip-cell bitmap. The invariant guard keeps
+// one Array per scheme under test and touches it on every deep-checked
+// write, so the layout matters the same way the device's does.
 type Array struct {
-	par   pcm.Params
-	lines map[pcm.LineAddr]*arrayLine
-}
-
-type arrayLine struct {
-	bits  []uint16 // [unit*nchips + chip]
-	flips []bool
+	par       pcm.Params
+	lines     *linestore.Store
+	bitsWords int // words holding the packed uint16 cells
 }
 
 // NewArray returns an empty encoded-cell model.
 func NewArray(par pcm.Params) *Array {
-	return &Array{par: par, lines: make(map[pcm.LineAddr]*arrayLine)}
+	n := par.DataUnits() * par.NumChips
+	bitsWords := (n + 3) / 4
+	flipWords := (n + 63) / 64
+	return &Array{
+		par:       par,
+		lines:     linestore.NewStore(bitsWords + flipWords),
+		bitsWords: bitsWords,
+	}
 }
 
-func (a *Array) line(addr pcm.LineAddr) *arrayLine {
-	l, ok := a.lines[addr]
-	if !ok {
-		n := a.par.DataUnits() * a.par.NumChips
-		l = &arrayLine{bits: make([]uint16, n), flips: make([]bool, n)}
-		a.lines[addr] = l
-	}
-	return l
+func (a *Array) line(addr pcm.LineAddr) []uint64 {
+	return a.lines.Ensure(int64(addr))
 }
 
 func (a *Array) idx(c, u int) int { return u*a.par.NumChips + c }
+
+func cellBits(l []uint64, i int) uint16 {
+	return uint16(l[i>>2] >> (16 * uint(i&3)))
+}
+
+func setCellBits(l []uint64, i int, v uint16) {
+	sh := 16 * uint(i&3)
+	l[i>>2] = l[i>>2]&^(0xFFFF<<sh) | uint64(v)<<sh
+}
+
+func (a *Array) cellFlip(l []uint64, i int) bool {
+	return l[a.bitsWords+i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (a *Array) setCellFlip(l []uint64, i int, v bool) {
+	if v {
+		l[a.bitsWords+i>>6] |= 1 << uint(i&63)
+	} else {
+		l[a.bitsWords+i>>6] &^= 1 << uint(i&63)
+	}
+}
 
 // Apply replays a plan's pulses onto the line's encoded cells, in pulse
 // start-time order. Overlapping same-cell pulses were already excluded by
@@ -53,14 +77,14 @@ func (a *Array) Apply(addr pcm.LineAddr, p Plan) {
 	for _, pl := range sorted.Pulses {
 		i := a.idx(pl.Chip, pl.Unit)
 		if pl.Kind == Set {
-			l.bits[i] |= pl.Mask
+			setCellBits(l, i, cellBits(l, i)|pl.Mask)
 			if pl.FlipCell {
-				l.flips[i] = true
+				a.setCellFlip(l, i, true)
 			}
 		} else {
-			l.bits[i] &^= pl.Mask
+			setCellBits(l, i, cellBits(l, i)&^pl.Mask)
 			if pl.FlipCell {
-				l.flips[i] = false
+				a.setCellFlip(l, i, false)
 			}
 		}
 	}
@@ -75,8 +99,8 @@ func (a *Array) Logical(addr pcm.LineAddr) []byte {
 	for u := 0; u < a.par.DataUnits(); u++ {
 		for c := 0; c < a.par.NumChips; c++ {
 			i := a.idx(c, u)
-			w := l.bits[i]
-			if l.flips[i] {
+			w := cellBits(l, i)
+			if a.cellFlip(l, i) {
 				w = ^w & mask
 			}
 			bitutil.SetChipSlice(out, a.par.NumChips, wb, c, u, w)
@@ -100,10 +124,10 @@ func (a *Array) SyncLogical(addr pcm.LineAddr, logical []byte) {
 		for c := 0; c < a.par.NumChips; c++ {
 			i := a.idx(c, u)
 			w := bitutil.ChipSlice(logical, a.par.NumChips, wb, c, u)
-			if l.flips[i] {
+			if a.cellFlip(l, i) {
 				w = ^w & mask
 			}
-			l.bits[i] = w
+			setCellBits(l, i, w)
 		}
 	}
 }
@@ -112,7 +136,7 @@ func (a *Array) SyncLogical(addr pcm.LineAddr, logical []byte) {
 func (a *Array) Encoded(addr pcm.LineAddr, c, u int) (bits uint16, flip bool) {
 	l := a.line(addr)
 	i := a.idx(c, u)
-	return l.bits[i], l.flips[i]
+	return cellBits(l, i), a.cellFlip(l, i)
 }
 
 // CheckWrite is the all-in-one oracle used by the scheme test suites: it

@@ -2,19 +2,20 @@ package schemes
 
 import (
 	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 )
 
 // flipState stores the per-line inversion tags of a coding scheme: one
 // bit per (chip, data unit). With the default geometry that is 32 bits
-// per line, kept sparsely in a uint64 per touched line.
+// per line, kept sparsely in a uint64 word per touched line.
 type flipState struct {
-	m      map[pcm.LineAddr]uint64
+	m      *linestore.Store
 	nchips int
 }
 
 func newFlipState(nchips int) *flipState {
-	return &flipState{m: make(map[pcm.LineAddr]uint64), nchips: nchips}
+	return &flipState{m: linestore.NewStore(1), nchips: nchips}
 }
 
 func (f *flipState) bit(c, u int) uint {
@@ -23,15 +24,17 @@ func (f *flipState) bit(c, u int) uint {
 
 // get returns the flip tag of chip c, unit u of the line.
 func (f *flipState) get(addr pcm.LineAddr, c, u int) bool {
-	return f.m[addr]&(1<<f.bit(c, u)) != 0
+	w := f.m.Get(int64(addr))
+	return w != nil && w[0]&(1<<f.bit(c, u)) != 0
 }
 
 // set updates the flip tag of chip c, unit u of the line.
 func (f *flipState) set(addr pcm.LineAddr, c, u int, v bool) {
+	w := f.m.Ensure(int64(addr))
 	if v {
-		f.m[addr] |= 1 << f.bit(c, u)
+		w[0] |= 1 << f.bit(c, u)
 	} else {
-		f.m[addr] &^= 1 << f.bit(c, u)
+		w[0] &^= 1 << f.bit(c, u)
 	}
 }
 

@@ -1,10 +1,15 @@
 // Package sim provides the deterministic event-driven simulation kernel
 // shared by the full-system experiments: a time-ordered event queue with
 // stable tie-breaking, so identical inputs always replay identically.
+//
+// Two queue implementations back the engine (see QueueKind): a
+// hierarchical timing wheel with O(1) schedule/advance (the default) and
+// the original binary heap. Both pop events in exactly the same
+// (time, sequence) order, which the cross-check tests enforce, so every
+// Result is bit-identical whichever queue is selected.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"tetriswrite/internal/units"
@@ -12,36 +17,75 @@ import (
 
 // Event is a callback scheduled at a point in simulated time.
 type event struct {
-	at  units.Time
-	seq uint64 // insertion order, breaks ties deterministically
-	fn  func()
+	at   units.Time
+	seq  uint64 // insertion order, breaks ties deterministically
+	fn   func()
+	next *event // intrusive slot-list link (timing wheel only)
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It backs the
+// QueueHeap engine and the timing wheel's far-future overflow.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-// Engine runs events in time order. The zero value is ready to use.
-// Engines are single-threaded: all scheduling must happen from event
-// callbacks or before Run.
+// heapPush and heapPop are container/heap without the interface boxing:
+// the queue is the engine's innermost loop, so the any round-trips and
+// Less/Swap indirection are worth avoiding.
+func heapPush(h *eventHeap, ev *event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func heapPop(h *eventHeap) *event {
+	s := *h
+	n := len(s)
+	top := s[0]
+	s[0] = s[n-1]
+	s[n-1] = nil
+	s = s[:n-1]
+	*h = s
+	// Sift the moved element down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(s) && eventLess(s[l], s[least]) {
+			least = l
+		}
+		if r < len(s) && eventLess(s[r], s[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}
+
+// Engine runs events in time order. The zero value is ready to use and
+// is backed by the timing wheel; NewEngine selects the implementation
+// explicitly. Engines are single-threaded: all scheduling must happen
+// from event callbacks or before Run.
 type Engine struct {
-	pq      eventHeap
+	q       eventQueue
+	kind    QueueKind
 	now     units.Time
 	seq     uint64
 	events  uint64
@@ -54,6 +98,39 @@ type Engine struct {
 	free []*event
 }
 
+// NewEngine returns an engine backed by the given queue kind. The empty
+// kind selects the timing wheel (the default). It panics on unknown
+// kinds — queue selection is configuration, and a typo there should not
+// silently fall back.
+func NewEngine(kind QueueKind) *Engine {
+	if !kind.Valid() {
+		panic(fmt.Sprintf("sim: unknown queue kind %q", kind))
+	}
+	return &Engine{kind: kind}
+}
+
+// Queue returns the engine's queue kind (never empty: the zero value
+// resolves to QueueWheel).
+func (e *Engine) Queue() QueueKind {
+	if e.kind == "" {
+		return QueueWheel
+	}
+	return e.kind
+}
+
+// queue lazily builds the configured queue, so the zero Engine value
+// stays ready to use.
+func (e *Engine) queue() eventQueue {
+	if e.q == nil {
+		if e.kind == QueueHeap {
+			e.q = &heapQueue{}
+		} else {
+			e.q = newTimingWheel()
+		}
+	}
+	return e.q
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() units.Time { return e.now }
 
@@ -61,7 +138,12 @@ func (e *Engine) Now() units.Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.events }
 
 // Pending returns the number of events waiting to run.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int {
+	if e.q == nil {
+		return 0
+	}
+	return e.q.len()
+}
 
 // At schedules fn at absolute time t, which must not precede the current
 // time (the simulator has no time machine; scheduling in the past is
@@ -79,8 +161,8 @@ func (e *Engine) At(t units.Time, fn func()) {
 	} else {
 		ev = new(event)
 	}
-	ev.at, ev.seq, ev.fn = t, e.seq, fn
-	heap.Push(&e.pq, ev)
+	ev.at, ev.seq, ev.fn, ev.next = t, e.seq, fn, nil
+	e.queue().push(ev)
 }
 
 // After schedules fn d after the current time.
@@ -94,10 +176,10 @@ func (e *Engine) After(d units.Duration, fn func()) {
 // Step runs the single earliest event. It reports false when the queue
 // is empty.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	ev := e.queue().pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(*event)
 	e.now = ev.at
 	e.events++
 	fn := ev.fn
@@ -105,6 +187,7 @@ func (e *Engine) Step() bool {
 	// At calls may reuse it immediately. Clearing fn releases the
 	// closure's captures as soon as the event is done.
 	ev.fn = nil
+	ev.next = nil
 	e.free = append(e.free, ev)
 	fn()
 	return true
@@ -121,7 +204,12 @@ func (e *Engine) Run() {
 // events stay queued; the current time advances to t even if no event
 // lands exactly there.
 func (e *Engine) RunUntil(t units.Time) {
-	for len(e.pq) > 0 && e.pq[0].at <= t {
+	q := e.queue()
+	for {
+		at, ok := q.peek()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {

@@ -1,0 +1,65 @@
+package sim
+
+import "tetriswrite/internal/units"
+
+// QueueKind selects the event-queue implementation behind an Engine.
+// The timing wheel is the default: O(1) schedule and advance with
+// cache-friendly slot arrays, falling back to a far-future overflow heap
+// only for events beyond its span. The binary heap is kept selectable so
+// tests (and cautious users) can cross-check that both implementations
+// pop events in exactly the same order — the engine's determinism
+// contract does not depend on which queue backs it.
+type QueueKind string
+
+const (
+	// QueueWheel is the hierarchical timing wheel (the default; the
+	// empty string resolves to it).
+	QueueWheel QueueKind = "wheel"
+	// QueueHeap is the original container/heap binary heap.
+	QueueHeap QueueKind = "heap"
+)
+
+// Valid reports whether k names a known queue implementation. The empty
+// kind is valid and means QueueWheel.
+func (k QueueKind) Valid() bool {
+	switch k {
+	case "", QueueWheel, QueueHeap:
+		return true
+	}
+	return false
+}
+
+// eventQueue is the priority-queue contract the engine drives: events
+// come back in strict (at, seq) order. Implementations are
+// single-threaded, like the engine itself.
+type eventQueue interface {
+	push(ev *event)
+	// pop removes and returns the earliest event, or nil when empty.
+	pop() *event
+	// peek returns the earliest event's time without removing it.
+	peek() (units.Time, bool)
+	len() int
+}
+
+// heapQueue adapts eventHeap to the eventQueue interface.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) push(ev *event) { heapPush(&q.h, ev) }
+
+func (q *heapQueue) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heapPop(&q.h)
+}
+
+func (q *heapQueue) peek() (units.Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+func (q *heapQueue) len() int { return len(q.h) }

@@ -102,24 +102,26 @@ func (e *Engine) RunContext(ctx context.Context, wd Watchdog) error {
 		deadline = e.now.Add(wd.MaxSimTime)
 	}
 	var executed uint64
+	q := e.queue()
 	for {
 		if e.stopErr != nil {
 			return e.stopErr
 		}
-		if len(e.pq) == 0 {
+		at, ok := q.peek()
+		if !ok {
 			return nil
 		}
 		if wd.MaxEvents > 0 && executed >= wd.MaxEvents {
 			return &BudgetError{Events: executed, MaxEvents: wd.MaxEvents, Now: e.now}
 		}
-		if wd.MaxSimTime > 0 && e.pq[0].at > deadline {
+		if wd.MaxSimTime > 0 && at > deadline {
 			return &BudgetError{Events: executed, Now: e.now, Deadline: deadline, SimTime: true}
 		}
 		e.Step()
 		executed++
 		if executed%checkEvery == 0 {
 			if wd.Heartbeat != nil {
-				wd.Heartbeat(Progress{Events: executed, Now: e.now, Pending: len(e.pq)})
+				wd.Heartbeat(Progress{Events: executed, Now: e.now, Pending: q.len()})
 			}
 			if err := ctx.Err(); err != nil {
 				return err

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math/bits"
+	"slices"
+
+	"tetriswrite/internal/units"
+)
+
+// Hierarchical timing wheel (calendar queue) over the picosecond time
+// base. Five levels of 256 slots cover 2^40 ps (~1.1 s) of simulated
+// future relative to the wheel's current position; the rare event beyond
+// that span waits in a (at, seq)-ordered overflow heap and is popped by
+// direct comparison, so correctness never depends on the span.
+//
+// Determinism: the engine's contract is that events pop in strict
+// (at, seq) order. Slot lists are unordered (cascades interleave with
+// direct inserts), so the slot holding the minimum tick is drained into
+// a scratch buffer and sorted by seq — all events in a level-0 slot
+// share one tick, making seq the only key — before being handed out one
+// by one. The cross-check tests in wheel_test.go replay random
+// schedules (zero delays, same-cycle bursts, far-future outliers)
+// against the binary heap and require identical pop order.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256 slots per level
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 5 // level l covers deltas < 2^((l+1)*8) ps
+)
+
+// wheelLevel is one ring of slots. Slots are intrusive singly-linked
+// event lists (push prepends; order is restored at drain time), with an
+// occupancy bitmap so finding the next non-empty slot is a handful of
+// word scans instead of a walk.
+type wheelLevel struct {
+	slot  [wheelSlots]*event
+	occ   [wheelSlots / 64]uint64
+	count int
+}
+
+func (l *wheelLevel) add(s uint64, ev *event) {
+	ev.next = l.slot[s]
+	l.slot[s] = ev
+	l.occ[s>>6] |= 1 << (s & 63)
+	l.count++
+}
+
+// take detaches and returns slot s's whole list. The caller walks the
+// list exactly once anyway (cascade or drain), so it owns the count
+// bookkeeping — counting here would mean a second walk.
+func (l *wheelLevel) take(s uint64) *event {
+	head := l.slot[s]
+	l.slot[s] = nil
+	l.occ[s>>6] &^= 1 << (s & 63)
+	return head
+}
+
+// scanFrom returns the first occupied slot index at or circularly after
+// `from`. The caller guarantees count > 0.
+func (l *wheelLevel) scanFrom(from uint64) uint64 {
+	w := from >> 6
+	// Bits at or above `from` within its word.
+	if word := l.occ[w] &^ ((1 << (from & 63)) - 1); word != 0 {
+		return w<<6 + uint64(bits.TrailingZeros64(word))
+	}
+	for k := uint64(1); k <= uint64(len(l.occ)); k++ {
+		wi := (w + k) & uint64(len(l.occ)-1)
+		word := l.occ[wi]
+		if k == uint64(len(l.occ)) {
+			// Wrapped back to the first word: only bits below `from`.
+			word &= (1 << (from & 63)) - 1
+		}
+		if word != 0 {
+			return wi<<6 + uint64(bits.TrailingZeros64(word))
+		}
+	}
+	panic("sim: wheel bitmap scan on empty level")
+}
+
+// timingWheel implements eventQueue.
+type timingWheel struct {
+	cur      uint64 // wheel position in ticks (ps); never exceeds the min pending tick
+	size     int    // events stored in the levels (excludes ready and overflow)
+	levels   [wheelLevels]wheelLevel
+	overflow eventHeap
+
+	// ready holds the drained minimum-tick slot, sorted by seq;
+	// readyPos is the next event to hand out.
+	ready    []*event
+	readyPos int
+}
+
+func newTimingWheel() *timingWheel { return &timingWheel{} }
+
+func (w *timingWheel) len() int {
+	return w.size + (len(w.ready) - w.readyPos) + len(w.overflow)
+}
+
+func (w *timingWheel) push(ev *event) {
+	t := uint64(ev.at)
+	if t < w.cur {
+		// The engine forbids scheduling in the past, so this can only be
+		// the gap between an overflow pop and the wheel position; clamp
+		// to keep the slot arithmetic sound.
+		t = w.cur
+	}
+	// Place by block-index difference, not raw delta: level l fits when
+	// t's level-l block is within one ring revolution of cur's. Raw-delta
+	// placement admits an event exactly 256 blocks ahead into the slot
+	// the scan reads as the current block, which cascades back into the
+	// same slot forever.
+	for l := 0; l < wheelLevels; l++ {
+		k := uint(l * wheelBits)
+		if (t>>k)-(w.cur>>k) < wheelSlots {
+			w.levels[l].add((t>>k)&wheelMask, ev)
+			w.size++
+			return
+		}
+	}
+	heapPush(&w.overflow, ev)
+}
+
+func (w *timingWheel) readyHead() *event {
+	if w.readyPos < len(w.ready) {
+		return w.ready[w.readyPos]
+	}
+	return nil
+}
+
+// refill locates the minimum pending tick in the levels, cascading
+// coarser slots down as needed, and drains that tick's slot into the
+// ready buffer. It stops without draining when the wheel minimum cannot
+// beat `bound` (the overflow minimum), so the wheel position never
+// advances past an earlier overflow event. Amortized O(1): every event
+// cascades at most wheelLevels-1 times over its lifetime.
+func (w *timingWheel) refill(bound uint64) {
+	if w.size == 0 {
+		return
+	}
+	for {
+		bestStart := ^uint64(0)
+		bestLv := -1
+		var bestSlot uint64
+		if l := &w.levels[0]; l.count > 0 {
+			s := l.scanFrom(w.cur & wheelMask)
+			tick := w.cur + ((s - w.cur) & wheelMask)
+			bestStart, bestLv, bestSlot = tick, 0, s
+		}
+		for lv := 1; lv < wheelLevels; lv++ {
+			l := &w.levels[lv]
+			if l.count == 0 {
+				continue
+			}
+			base := w.cur >> uint(lv*wheelBits)
+			s := l.scanFrom(base & wheelMask)
+			blockStart := (base + ((s - base) & wheelMask)) << uint(lv*wheelBits)
+			if blockStart < w.cur {
+				// The slot whose block contains the current position.
+				blockStart = w.cur
+			}
+			// <= so a coarser block tied with a finer candidate cascades
+			// first: it may hide an earlier (or equal-tick, lower-seq)
+			// event.
+			if blockStart <= bestStart {
+				bestStart, bestLv, bestSlot = blockStart, lv, s
+			}
+		}
+		if bestLv < 0 {
+			return // levels empty (size was stale only if caller misused)
+		}
+		if bestStart > bound {
+			// The overflow heap holds the true minimum; leave the wheel
+			// position untouched so the overflow pop cannot time-travel.
+			return
+		}
+		if bestLv == 0 {
+			w.cur = bestStart
+			w.drainSlot(bestSlot)
+			return
+		}
+		// Cascade the coarse slot toward level 0. Advancing to the block
+		// start first is safe — bestStart is a lower bound on every
+		// pending tick — and guarantees each event lands at least one
+		// level lower (its remaining delta is now below the block span).
+		if bestStart > w.cur {
+			w.cur = bestStart
+		}
+		lvl := &w.levels[bestLv]
+		for ev := lvl.take(bestSlot); ev != nil; {
+			next := ev.next
+			ev.next = nil
+			lvl.count--
+			w.size--
+			w.push(ev)
+			ev = next
+		}
+	}
+}
+
+// drainSlot moves the level-0 slot s (all events share tick w.cur) into
+// the ready buffer in seq order.
+func (w *timingWheel) drainSlot(s uint64) {
+	l := &w.levels[0]
+	w.ready = w.ready[:0]
+	w.readyPos = 0
+	for ev := l.take(s); ev != nil; {
+		next := ev.next
+		ev.next = nil
+		l.count--
+		w.size--
+		w.ready = append(w.ready, ev)
+		ev = next
+	}
+	if len(w.ready) > 1 {
+		slices.SortFunc(w.ready, func(a, b *event) int {
+			// Same tick; seq is the only key and is unique.
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		})
+	}
+}
+
+// peekEvent returns the earliest pending event without removing it,
+// refilling the ready buffer from the levels when needed.
+func (w *timingWheel) peekEvent() *event {
+	if w.readyHead() == nil && w.size > 0 {
+		bound := ^uint64(0)
+		if len(w.overflow) > 0 {
+			bound = uint64(w.overflow[0].at)
+		}
+		w.refill(bound)
+	}
+	r := w.readyHead()
+	if len(w.overflow) == 0 {
+		return r
+	}
+	o := w.overflow[0]
+	if r == nil || eventLess(o, r) {
+		return o
+	}
+	return r
+}
+
+func (w *timingWheel) peek() (units.Time, bool) {
+	ev := w.peekEvent()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+func (w *timingWheel) pop() *event {
+	ev := w.peekEvent()
+	if ev == nil {
+		return nil
+	}
+	if ev == w.readyHead() {
+		w.readyPos++
+		return ev
+	}
+	heapPop(&w.overflow)
+	if t := uint64(ev.at); t > w.cur {
+		w.cur = t
+	}
+	return ev
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetriswrite/internal/units"
+)
+
+// popRecord captures one executed event for order comparison.
+type popRecord struct {
+	at units.Time
+	id int
+}
+
+// runSchedule drives an engine through a randomized schedule derived
+// deterministically from seed and returns the execution order. Events
+// reschedule follow-ups from inside callbacks (like real components do),
+// exercising push-during-pop at the current tick, near future, and far
+// future (overflow span for the wheel).
+func runSchedule(t *testing.T, kind QueueKind, seed int64, initial, chained int) []popRecord {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	eng := NewEngine(kind)
+	var order []popRecord
+	nextID := 0
+	var schedule func(at units.Time, depth int)
+	schedule = func(at units.Time, depth int) {
+		id := nextID
+		nextID++
+		eng.At(at, func() {
+			order = append(order, popRecord{at: eng.Now(), id: id})
+			if depth >= chained {
+				return
+			}
+			// Mix of zero-delay, same-cycle-ish, short, medium, and
+			// far-future (past the wheel span) follow-ups.
+			var d units.Duration
+			switch rng.Intn(10) {
+			case 0:
+				d = 0 // zero delay: runs this same tick, after pending same-tick events
+			case 1, 2, 3:
+				d = units.Duration(rng.Intn(4)) * 500 // same/near cycle
+			case 4, 5, 6:
+				d = units.Duration(rng.Int63n(100_000)) // short
+			case 7, 8:
+				d = units.Duration(rng.Int63n(1 << 30)) // medium, crosses levels
+			default:
+				d = units.Duration(1<<41 + rng.Int63n(1<<41)) // beyond wheel span
+			}
+			schedule(eng.Now().Add(d), depth+1)
+		})
+	}
+	for i := 0; i < initial; i++ {
+		// Bursts of identical timestamps stress the seq tiebreak.
+		base := units.Time(rng.Int63n(1 << 20))
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			schedule(base, 0)
+		}
+	}
+	eng.Run()
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("%s engine finished with %d pending events", kind, got)
+	}
+	return order
+}
+
+// TestWheelMatchesHeapPopOrder is the determinism contract: the timing
+// wheel and the binary heap must execute identical schedules in an
+// identical order, including zero-delay events, same-cycle bursts, and
+// far-future events that land in the wheel's overflow heap.
+func TestWheelMatchesHeapPopOrder(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		heap := runSchedule(t, QueueHeap, seed, 50, 40)
+		wheel := runSchedule(t, QueueWheel, seed, 50, 40)
+		if len(heap) != len(wheel) {
+			t.Fatalf("seed %d: heap ran %d events, wheel ran %d", seed, len(heap), len(wheel))
+		}
+		for i := range heap {
+			if heap[i] != wheel[i] {
+				t.Fatalf("seed %d: pop %d differs: heap %+v, wheel %+v", seed, i, heap[i], wheel[i])
+			}
+		}
+	}
+}
+
+// TestWheelZeroDelayOrdering pins the subtle same-tick rule: an event
+// scheduled with zero delay from inside a callback runs on the same tick
+// but after every event already queued for that tick (higher seq).
+func TestWheelZeroDelayOrdering(t *testing.T) {
+	for _, kind := range []QueueKind{QueueHeap, QueueWheel} {
+		eng := NewEngine(kind)
+		var order []int
+		eng.At(100, func() {
+			order = append(order, 1)
+			eng.After(0, func() { order = append(order, 3) })
+		})
+		eng.At(100, func() { order = append(order, 2) })
+		eng.Run()
+		want := []int{1, 2, 3}
+		for i := range want {
+			if i >= len(order) || order[i] != want[i] {
+				t.Fatalf("%s: got order %v, want %v", kind, order, want)
+			}
+		}
+	}
+}
+
+// TestWheelOverflowInterleave forces the pathological interleaving of
+// wheel-resident and overflow-resident events: a far-future event must
+// not run before nearer events pushed after it, and popping it must not
+// rewind the wheel position.
+func TestWheelOverflowInterleave(t *testing.T) {
+	eng := NewEngine(QueueWheel)
+	far := units.Time(1 << 45) // far beyond the 2^40 wheel span
+	var order []string
+	eng.At(far, func() {
+		order = append(order, "far")
+		// Scheduling after an overflow pop exercises the cur catch-up.
+		eng.After(500, func() { order = append(order, "after-far") })
+	})
+	eng.At(1000, func() {
+		order = append(order, "near")
+		eng.At(far-1, func() { order = append(order, "far-1") })
+	})
+	eng.Run()
+	want := []string{"near", "far-1", "far", "after-far"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelRunUntilParity checks peek-driven partial runs agree between
+// queue kinds (RunUntil uses peek, not pop).
+func TestWheelRunUntilParity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		counts := make(map[QueueKind][]uint64)
+		for _, kind := range []QueueKind{QueueHeap, QueueWheel} {
+			rng := rand.New(rand.NewSource(seed))
+			eng := NewEngine(kind)
+			for i := 0; i < 200; i++ {
+				eng.At(units.Time(rng.Int63n(1<<22)), func() {})
+			}
+			for _, cut := range []units.Time{1 << 18, 1 << 20, 1 << 21, 1 << 22} {
+				eng.RunUntil(cut)
+				counts[kind] = append(counts[kind], eng.Processed())
+			}
+		}
+		for i := range counts[QueueHeap] {
+			if counts[QueueHeap][i] != counts[QueueWheel][i] {
+				t.Fatalf("seed %d cut %d: heap processed %d, wheel %d",
+					seed, i, counts[QueueHeap][i], counts[QueueWheel][i])
+			}
+		}
+	}
+}
+
+func TestQueueKindValid(t *testing.T) {
+	for _, k := range []QueueKind{"", QueueWheel, QueueHeap} {
+		if !k.Valid() {
+			t.Errorf("kind %q should be valid", k)
+		}
+	}
+	if QueueKind("bogus").Valid() {
+		t.Error("bogus kind should be invalid")
+	}
+	if got := NewEngine("").Queue(); got != QueueWheel {
+		t.Errorf("empty kind resolves to %q, want wheel", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine with unknown kind should panic")
+		}
+	}()
+	NewEngine("bogus")
+}

@@ -1,0 +1,80 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/tetris"
+	"tetriswrite/internal/workload"
+)
+
+// TestEngineQueueCrossCheck is the seed-vs-new acceptance gate for the
+// timing-wheel engine: over the full 8-workload sweep and every write
+// scheme, the wheel must produce a Result bit-identical to the binary
+// heap the simulator shipped with. Any divergence — a reordered event, a
+// dropped tiebreak, a wheel cascade landing one tick off — shows up here
+// as a DeepEqual failure on the complete statistics struct (latencies,
+// energy, per-core stats, controller histograms).
+func TestEngineQueueCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload x scheme sweep")
+	}
+	factories := map[string]schemes.Factory{
+		"conventional": schemes.NewConventional,
+		"dcw":          schemes.NewDCW,
+		"fnw":          schemes.NewFlipNWrite,
+		"twostage":     schemes.NewTwoStage,
+		"threestage":   schemes.NewThreeStage,
+		"tetris":       tetris.New,
+	}
+	names := []string{"conventional", "dcw", "fnw", "twostage", "threestage", "tetris"}
+	for _, prof := range workload.Profiles() {
+		for _, name := range names {
+			prof, name := prof, name
+			t.Run(prof.Name+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{InstrBudget: 60_000, Seed: 7}
+				cfg.EngineQueue = sim.QueueHeap
+				heap, err := Run(prof, factories[name], cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.EngineQueue = sim.QueueWheel
+				wheel, err := Run(prof, factories[name], cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(heap, wheel) {
+					t.Errorf("heap and wheel engines diverged:\nheap:  %+v\nwheel: %+v", heap, wheel)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineQueueCrossCheckFaults repeats the cross-check on the one
+// configuration whose event pattern differs most from the plain sweep:
+// verify-retry loops, hard-error sparing and Start-Gap wear leveling all
+// enabled at once. These layers schedule same-cycle follow-up events and
+// far-future maintenance work — exactly the orderings the wheel's
+// sequence tiebreak and overflow heap must preserve.
+func TestEngineQueueCrossCheckFaults(t *testing.T) {
+	prof := faultProfile(t)
+	base := faultConfig()
+	base.WearLevelPsi = 50
+	base.EngineQueue = sim.QueueHeap
+	heap, err := Run(prof, tetris.New, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.EngineQueue = sim.QueueWheel
+	wheel, err := Run(prof, tetris.New, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(heap, wheel) {
+		t.Errorf("heap and wheel engines diverged under faults:\nheap:  %+v\nwheel: %+v", heap, wheel)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"tetriswrite/internal/cpu"
 	"tetriswrite/internal/fault"
 	"tetriswrite/internal/guard"
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
@@ -91,6 +92,14 @@ type Config struct {
 	// *guard.ViolationError. Checks only read state, so a guarded run is
 	// bit-identical to an unguarded one.
 	Guard guard.Config
+
+	// EngineQueue selects the event-queue implementation behind the
+	// simulation engine: sim.QueueWheel (the default, also chosen by the
+	// empty string) or sim.QueueHeap. Both pop events in the identical
+	// (time, sequence) order, so every Result is bit-identical whichever
+	// backs the run — the cross-check tests sweep both to prove it. The
+	// heap stays selectable for exactly that A/B purpose.
+	EngineQueue sim.QueueKind
 
 	// MaxEvents and MaxSimTime bound the engine run (see sim.Watchdog):
 	// 0 means unlimited. When a budget trips, the run returns a
@@ -308,15 +317,14 @@ type preloadPort struct {
 	down      cpu.MemPort
 	dev       *pcm.Device
 	prog      *workload.Program
-	seen      map[pcm.LineAddr]struct{}
+	seen      *linestore.Set
 	translate func(pcm.LineAddr) pcm.LineAddr
 }
 
 func (p *preloadPort) ensure(addr pcm.LineAddr) {
-	if _, ok := p.seen[addr]; ok {
+	if !p.seen.Add(int64(addr)) {
 		return
 	}
-	p.seen[addr] = struct{}{}
 	phys := addr
 	if p.translate != nil {
 		phys = p.translate(addr)
@@ -351,7 +359,10 @@ func RunCtx(ctx context.Context, prof workload.Profile, factory schemes.Factory,
 	if verr := cfg.Params.Validate(); verr != nil {
 		return Result{}, fmt.Errorf("system: %w", verr)
 	}
-	eng := &sim.Engine{}
+	if !cfg.EngineQueue.Valid() {
+		return Result{}, fmt.Errorf("system: unknown engine queue %q", cfg.EngineQueue)
+	}
+	eng := sim.NewEngine(cfg.EngineQueue)
 	fp := guard.Fingerprint{Seed: cfg.Seed, Workload: prof.Name, Scheme: factory(cfg.Params).Name()}
 	defer recoverRun(&err, eng, fp)
 
@@ -423,7 +434,7 @@ func RunCtx(ctx context.Context, prof workload.Profile, factory schemes.Factory,
 	}
 
 	preload := &preloadPort{down: down, dev: dev, prog: prog,
-		seen: make(map[pcm.LineAddr]struct{}), translate: translate}
+		seen: linestore.NewSet(), translate: translate}
 
 	var port cpu.MemPort = preload
 	var hier *cache.Hierarchy
@@ -505,7 +516,10 @@ func RunTraceCtx(ctx context.Context, label string, recs []trace.Record, cores i
 	if verr := cfg.Params.Validate(); verr != nil {
 		return Result{}, fmt.Errorf("system: %w", verr)
 	}
-	eng := &sim.Engine{}
+	if !cfg.EngineQueue.Valid() {
+		return Result{}, fmt.Errorf("system: unknown engine queue %q", cfg.EngineQueue)
+	}
+	eng := sim.NewEngine(cfg.EngineQueue)
 	fp := guard.Fingerprint{Seed: cfg.Seed, Workload: label, Scheme: factory(cfg.Params).Name()}
 	defer recoverRun(&err, eng, fp)
 

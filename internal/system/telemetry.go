@@ -38,12 +38,20 @@ func attachTelemetry(eng *sim.Engine, cfg Config, parts telemetryParts) *telemet
 	}
 	parts.ctrl.RegisterMetrics(reg)
 	parts.dev.RegisterMetrics(reg)
+	parts.dev.RegisterStoreMetrics(reg)
 	if parts.remap != nil {
 		parts.remap.RegisterMetrics(reg)
 	}
 	if parts.inj != nil {
 		registerFaultMetrics(reg, parts.inj, parts.spare)
 	}
+	// Engine queue depth: the one signal that distinguishes a simulation
+	// falling behind (depth growing epoch over epoch) from one that is
+	// simply long. Registered last so existing exporter column order is
+	// unchanged.
+	reg.GaugeFunc("sim.pending_events", "events waiting in the engine queue", func() float64 {
+		return float64(eng.Pending())
+	})
 	s := telemetry.NewSampler(eng, reg, cfg.Epoch, cfg.MetricsRing)
 	s.Start()
 	return s

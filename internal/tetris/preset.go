@@ -36,7 +36,8 @@ func (s *scheme) PlanPreset(addr pcm.LineAddr, old []byte) schemes.Plan {
 	// Work out, per chip slice, which cells are amorphous right now and
 	// whether the flip cell must clear.
 	work := make([][]presetWork, nc)
-	flipWord := s.flips[addr]
+	flipSlot := s.flips.Ensure(int64(addr))
+	flipWord := flipSlot[0]
 	mask := bitutil.WidthMask(s.par.ChipWidthBits)
 	wb := s.par.ChipWidthBits / 8
 	for c := 0; c < nc; c++ {
@@ -52,7 +53,7 @@ func (s *scheme) PlanPreset(addr pcm.LineAddr, old []byte) schemes.Plan {
 			flipWord &^= s.flipBit(c, u)
 		}
 	}
-	s.flips[addr] = flipWord
+	flipSlot[0] = flipWord
 
 	// Pack the SETs exactly like a normal write's write-1 pass.
 	type domain struct {

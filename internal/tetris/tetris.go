@@ -2,6 +2,7 @@ package tetris
 
 import (
 	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/units"
@@ -36,7 +37,7 @@ type Options struct {
 type scheme struct {
 	par   pcm.Params
 	opt   Options
-	flips map[pcm.LineAddr]uint64 // flip tags, bit u*NumChips+c
+	flips *linestore.Store // one word per line: flip tags, bit u*NumChips+c
 
 	// Per-write scratch buffers: PlanWrite sits on every simulated write
 	// and schemes are single-owner by contract, so reuse is safe.
@@ -75,7 +76,7 @@ func NewWithOptions(par pcm.Params, opt Options) schemes.Scheme {
 	if opt.AnalysisCycles < 0 {
 		opt.AnalysisCycles = 0
 	}
-	return &scheme{par: par, opt: opt, flips: make(map[pcm.LineAddr]uint64)}
+	return &scheme{par: par, opt: opt, flips: linestore.NewStore(1)}
 }
 
 func (s *scheme) Name() string               { return "tetris" }
@@ -104,7 +105,8 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 		s.workBuf = make([]UnitCounts, nc*nu)
 	}
 	work := s.workBuf
-	flipWord := s.flips[addr]
+	flipSlot := s.flips.Ensure(int64(addr))
+	flipWord := flipSlot[0]
 	wbits := s.par.ChipWidthBits
 	wb := wbits / 8
 	for c := 0; c < nc; c++ {
@@ -129,7 +131,7 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 			}
 		}
 	}
-	s.flips[addr] = flipWord
+	flipSlot[0] = flipWord
 
 	// Analysis stage: pack each power domain. Under a GCP the whole bank
 	// is one domain; otherwise each chip packs against its own pump.

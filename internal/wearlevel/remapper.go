@@ -1,6 +1,7 @@
 package wearlevel
 
 import (
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/units"
 )
@@ -33,7 +34,10 @@ type Remapper struct {
 	snoop func(addr pcm.LineAddr, dst []byte)
 	line  int
 
-	pending  map[pcm.LineAddr][]byte // gap-move copies awaiting submission
+	// pending holds gap-move copies awaiting submission, drained in
+	// insertion order — a Go map here would retry queued copies in
+	// randomized order and break replay determinism.
+	pending  *linestore.Pending
 	retrying bool
 
 	stats RemapStats
@@ -56,7 +60,7 @@ func NewRemapper(mem Mem, region *Region, lineBytes int, snoop func(pcm.LineAddr
 		region:  region,
 		snoop:   snoop,
 		line:    lineBytes,
-		pending: make(map[pcm.LineAddr][]byte),
+		pending: linestore.NewPending(),
 	}
 }
 
@@ -67,7 +71,7 @@ func (r *Remapper) Stats() RemapStats { return r.stats }
 func (r *Remapper) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool {
 	r.stats.Reads++
 	phys := r.region.Translate(addr)
-	if data, ok := r.pending[phys]; ok {
+	if data, ok := r.pending.Get(int64(phys)); ok {
 		// The line is mid-copy: serve the pending data the way the
 		// controller forwards from its write queue.
 		return r.mem.SubmitRead(phys, func(at units.Time, _ []byte) {
@@ -88,7 +92,7 @@ func (r *Remapper) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at un
 	// copy fully supersedes the copy; dropping the copy keeps queue
 	// ordering correct (the stale copy must never land after this
 	// write).
-	delete(r.pending, phys)
+	r.pending.Delete(int64(phys))
 	r.stats.Writes++
 	if !r.region.Contains(addr) {
 		return true
@@ -100,16 +104,17 @@ func (r *Remapper) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at un
 		// queued writes): the source slot is the new gap, so nothing can
 		// write it afterwards and the snapshot cannot go stale.
 		r.snoop(from, buf)
-		r.pending[to] = buf
+		r.pending.Put(int64(to), buf)
 		r.drainPending()
 	}
 	return true
 }
 
-// drainPending pushes buffered gap-move copies into the controller.
+// drainPending pushes buffered gap-move copies into the controller in
+// the order the moves happened.
 func (r *Remapper) drainPending() {
-	for addr, data := range r.pending {
-		if !r.mem.SubmitWrite(addr, data, nil) {
+	r.pending.Range(func(addr linestore.Addr, data []byte) bool {
+		if !r.mem.SubmitWrite(pcm.LineAddr(addr), data, nil) {
 			if !r.retrying {
 				r.retrying = true
 				r.mem.WhenWriteSpace(func() {
@@ -117,11 +122,12 @@ func (r *Remapper) drainPending() {
 					r.drainPending()
 				})
 			}
-			return
+			return false
 		}
 		r.stats.CopyBytes += int64(len(data))
-		delete(r.pending, addr)
-	}
+		r.pending.Delete(addr)
+		return true
+	})
 }
 
 // WhenWriteSpace forwards to the controller.

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 )
 
@@ -149,7 +150,7 @@ type Program struct {
 	prof      Profile
 	par       pcm.Params
 	seed      int64
-	shadow    map[pcm.LineAddr][]byte
+	shadow    *linestore.Store // lines as inline little-endian words
 	shrdBase  pcm.LineAddr
 	frontBase pcm.LineAddr
 	cores     int
@@ -180,7 +181,7 @@ func NewProgram(prof Profile, cores int, seed int64, par pcm.Params) *Program {
 		prof:   prof,
 		par:    par,
 		seed:   seed,
-		shadow: make(map[pcm.LineAddr][]byte),
+		shadow: linestore.NewStore(linestore.Words(par.LineBytes)),
 		// The shared region sits above all private regions, and the
 		// fresh-allocation frontier above that.
 		shrdBase:  shrdBase,
@@ -248,15 +249,39 @@ func (p *Program) initialLine(addr pcm.LineAddr) []byte {
 	return l
 }
 
-// shadowLine returns the program's live shadow of a line, creating it
-// from initialLine on first touch.
-func (p *Program) shadowLine(addr pcm.LineAddr) []byte {
-	if l, ok := p.shadow[addr]; ok {
-		return l
+// initWords is initialLine directly in the shadow store's word layout:
+// the splitmix64 output z IS the little-endian word, so the fill skips
+// the byte round-trip entirely. Bits beyond LineBytes in the tail word
+// are masked off to keep the words bit-identical to PackLine(initialLine).
+func (p *Program) initWords(addr pcm.LineAddr, w []uint64) {
+	if addr >= p.frontBase {
+		return // Ensure zero-fills; frontier lines start as untouched PCM
 	}
-	l := p.initialLine(addr)
-	p.shadow[addr] = l
-	return l
+	x := uint64(p.seed) ^ uint64(addr)*0x9E3779B97F4A7C15
+	for i := range w {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+		z = (z ^ z>>27) * 0x94D049BB133111EB
+		z ^= z >> 31
+		w[i] = z
+	}
+	if tail := p.par.LineBytes & 7; tail != 0 {
+		w[len(w)-1] &= 1<<(8*uint(tail)) - 1
+	}
+}
+
+// shadowWords returns the program's live shadow of a line as store
+// words, creating it from the deterministic initial contents on first
+// touch. The slice aliases the store and is invalidated by the next
+// first-touch (rehash), so callers must not retain it across touches.
+func (p *Program) shadowWords(addr pcm.LineAddr) []uint64 {
+	if w := p.shadow.Get(int64(addr)); w != nil {
+		return w
+	}
+	w := p.shadow.Ensure(int64(addr))
+	p.initWords(addr, w)
+	return w
 }
 
 // InitialContents returns the contents a simulator should pre-load the
@@ -336,21 +361,22 @@ func (g *Generator) pickAddr() pcm.LineAddr {
 // data unit, MeanSets+MeanResets bits are set — pure SET work over
 // untouched PCM, the source of the suite's SET-dominance.
 func (g *Generator) freshPayload(addr pcm.LineAddr) []byte {
-	line := g.prog.shadowLine(addr)
-	unitBytes := 8
+	words := g.prog.shadowWords(addr)
 	scale := 1 / (1 - g.prof.UntouchedUnits)
 	perUnit := g.prof.MeanSets + g.prof.MeanResets
-	for u := 0; u < len(line)/unitBytes; u++ {
+	for u := 0; u < g.lineLen/8; u++ {
 		if g.rng.Float64() < g.prof.UntouchedUnits {
 			continue
 		}
 		n := g.poisson(perUnit * scale)
-		unit := line[u*unitBytes : (u+1)*unitBytes]
-		for _, b := range g.distinctBits(n, unitBytes*8) {
-			unit[b/8] |= 1 << (b % 8)
+		// Bit b of the 64-bit unit is bit b of the little-endian word.
+		for _, b := range g.distinctBits(n, 64) {
+			words[u] |= 1 << b
 		}
 	}
-	return append([]byte(nil), line...)
+	out := make([]byte, g.lineLen)
+	linestore.UnpackLine(out, words)
+	return out
 }
 
 // distinctBits samples n distinct bit positions in [0, width) by partial
@@ -380,21 +406,21 @@ func (g *Generator) distinctBits(n, width int) []int {
 // contribute (MeanSets+MeanResets)/2 of each — which combined with the
 // fresh-write stream reproduces both Figure 3 means.
 func (g *Generator) mutateResident(addr pcm.LineAddr) []byte {
-	line := g.prog.shadowLine(addr)
-	unitBytes := 8
+	words := g.prog.shadowWords(addr)
 	scale := 1 / (1 - g.prof.UntouchedUnits)
 	perUnit := g.prof.MeanSets + g.prof.MeanResets
-	for u := 0; u < len(line)/unitBytes; u++ {
+	for u := 0; u < g.lineLen/8; u++ {
 		if g.rng.Float64() < g.prof.UntouchedUnits {
 			continue
 		}
 		n := g.poisson(perUnit * scale)
-		unit := line[u*unitBytes : (u+1)*unitBytes]
-		for _, b := range g.distinctBits(n, unitBytes*8) {
-			unit[b/8] ^= 1 << (b % 8)
+		for _, b := range g.distinctBits(n, 64) {
+			words[u] ^= 1 << b
 		}
 	}
-	return append([]byte(nil), line...)
+	out := make([]byte, g.lineLen)
+	linestore.UnpackLine(out, words)
+	return out
 }
 
 // poisson samples a Poisson variate with the given mean (Knuth's method;

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tetriswrite/internal/bitutil"
+	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
 )
 
@@ -341,8 +342,8 @@ func TestPayloadIsACopy(t *testing.T) {
 	// The shadow must be unaffected: its current contents are whatever
 	// the generator last wrote, not all-ones.
 	shadow := prog.InitialContents(addr)
-	if prog.shadow[addr] != nil {
-		shadow = prog.shadow[addr]
+	if w := prog.shadow.Get(int64(addr)); w != nil {
+		linestore.UnpackLine(shadow, w)
 	}
 	allOnes := true
 	for _, b := range shadow {
