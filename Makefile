@@ -8,10 +8,25 @@ FUZZTIME ?= 10s
 BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkFullSystemSingle|BenchmarkEngineLongTrace
 BENCHCOUNT ?= 3
 
-.PHONY: build test race fuzz-smoke bench bench-baseline bench-gate
+# Build stamping for `<binary> -version`: ldflags override the
+# internal/version defaults with the exact commit and build date. Falls
+# back to "unknown" outside a git checkout (internal/version then tries
+# debug.ReadBuildInfo at runtime).
+COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+DATE ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+LDFLAGS = -X tetriswrite/internal/version.Commit=$(COMMIT) -X tetriswrite/internal/version.Date=$(DATE)
+
+.PHONY: build test race fuzz-smoke bench bench-baseline bench-gate fleet-smoke
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
+
+# Install the stamped binaries into ./bin for service deployments and
+# the CI fleet smoke test.
+bin: FORCE
+	$(GO) build -ldflags '$(LDFLAGS)' -o bin/ ./cmd/...
+
+FORCE:
 
 test:
 	$(GO) test ./...
@@ -49,3 +64,10 @@ bench-baseline:
 # the two checks: any increase fails).
 bench-gate: bench
 	$(GO) run ./cmd/benchgate -old results/bench_baseline.txt -new bench_new.txt $(BENCHGATE_FLAGS)
+
+# End-to-end sweep-service smoke: broker + two workers on loopback, one
+# worker SIGKILLed mid-sweep, final table diffed against a serial
+# tetrisbench run. Exercises the whole fault path for real: processes,
+# TCP, lease expiry, retry, journal.
+fleet-smoke: bin
+	./scripts/fleet_smoke.sh

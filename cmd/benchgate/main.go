@@ -34,6 +34,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"tetriswrite/internal/version"
 )
 
 func main() {
@@ -143,9 +145,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		match      = fs.String("match", "", "regexp: gate only matching benchmark names (default all)")
 		skipNs     = fs.Bool("skip-ns", false, "gate only allocs/op (use when old/new ran on different machines)")
 		requireAll = fs.Bool("require-all", false, "fail if a baseline benchmark is missing from the new output")
+		showVer    = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("benchgate"))
+		return nil
 	}
 	if *oldPath == "" || *newPath == "" {
 		fs.Usage()

@@ -32,6 +32,7 @@ import (
 	"tetriswrite/internal/tetris"
 	"tetriswrite/internal/trace"
 	"tetriswrite/internal/units"
+	"tetriswrite/internal/version"
 	"tetriswrite/internal/workload"
 )
 
@@ -93,9 +94,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		epochStr   = fs.String("epoch", "", "telemetry sampling interval, e.g. 10us (off when empty)")
 		metricsOut = fs.String("metrics-out", "", "directory for telemetry exports: per-series CSV, epochs.jsonl, metrics.prom (needs -epoch)")
 		jsonOut    = fs.Bool("json", false, "print the report as JSON instead of text")
+		showVer    = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("pcmsim"))
+		return nil
 	}
 
 	// Reject nonsense before it turns into a confusing simulation.

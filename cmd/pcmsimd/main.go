@@ -1,0 +1,139 @@
+// Command pcmsimd is the sweep-service broker: it accepts sweep jobs
+// (workload x scheme x seed grids) over HTTP, fans the shards out to a
+// fleet of pcmsimw workers over net/rpc, and survives worker crashes,
+// broker restarts and client disconnects.
+//
+// Usage:
+//
+//	pcmsimd -rpc :7077 -http :7070 -journal pcmsimd.journal.jsonl
+//
+// Clients:
+//
+//	curl -s -XPOST localhost:7070/jobs -d '{"figs":[13],"instr":20000}'
+//	curl -s localhost:7070/jobs/j0000            # status
+//	curl -s localhost:7070/jobs/j0000/wait       # block until terminal
+//	curl -s localhost:7070/jobs/j0000/result     # rendered tables
+//	curl -sN localhost:7070/jobs/j0000/events    # live JSON-lines events
+//	curl -s localhost:7070/metrics               # Prometheus exposition
+//	curl -sN 'localhost:7070/metrics/stream?every=2s'
+//
+// SIGTERM/SIGINT drains: submissions stop, running jobs finish (bounded
+// by -drain-timeout), and whatever remains resumes from the journal on
+// the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/rpc"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tetriswrite/internal/fleet"
+	"tetriswrite/internal/runner"
+	"tetriswrite/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "pcmsimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcmsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rpcAddr  = fs.String("rpc", ":7077", "worker RPC listen address")
+		httpAddr = fs.String("http", ":7070", "client HTTP listen address")
+		journal  = fs.String("journal", "pcmsimd.journal.jsonl", "shard-completion journal path ('' disables resume)")
+		lease    = fs.Duration("lease", 5*time.Second, "worker lease TTL (missed heartbeats past this deregister the worker)")
+		poll     = fs.Duration("poll", 200*time.Millisecond, "idle poll interval dictated to workers")
+		backoff  = fs.Duration("backoff", 500*time.Millisecond, "base shard retry backoff")
+		maxBack  = fs.Duration("max-backoff", 10*time.Second, "shard retry backoff cap")
+		jitter   = fs.Float64("jitter", 0.2, "shard retry jitter fraction (0..1)")
+		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for running jobs before exiting anyway")
+		showVer  = fs.Bool("version", false, "print build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("pcmsimd"))
+		return nil
+	}
+	if *jitter < 0 || *jitter > 1 {
+		return fmt.Errorf("-jitter %v: want 0..1", *jitter)
+	}
+
+	logger := log.New(stderr, "pcmsimd: ", log.LstdFlags|log.Lmsgprefix)
+	broker, err := fleet.New(fleet.Config{
+		LeaseTTL:    *lease,
+		Poll:        *poll,
+		Retry:       runner.Backoff{Base: *backoff, Max: *maxBack, Jitter: *jitter},
+		JournalPath: *journal,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer broker.Close()
+
+	rpcSrv := rpc.NewServer()
+	if err := rpcSrv.RegisterName(fleet.RPCService, broker.RPC()); err != nil {
+		return err
+	}
+	rpcLn, err := net.Listen("tcp", *rpcAddr)
+	if err != nil {
+		return err
+	}
+	defer rpcLn.Close()
+	go acceptRPC(rpcSrv, rpcLn)
+
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: broker.Handler()}
+	httpLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("%s", version.String("pcmsimd"))
+	logger.Printf("serving: workers rpc=%s, clients http=%s, journal=%s",
+		rpcLn.Addr(), httpLn.Addr(), *journal)
+	go httpSrv.Serve(httpLn)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	logger.Printf("signal received: draining (up to %v)", *drainTO)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := broker.Drain(drainCtx); err != nil {
+		logger.Printf("%v", err)
+	} else {
+		logger.Printf("drained clean")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutCtx)
+	return nil
+}
+
+// acceptRPC serves worker connections until the listener closes.
+func acceptRPC(srv *rpc.Server, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go srv.ServeConn(conn)
+	}
+}

@@ -1,0 +1,75 @@
+// Command pcmsimw is a sweep-service worker: it registers with a
+// pcmsimd broker, pulls shard leases, runs each full-system simulation
+// and reports the summary back. Many workers share one broker; the
+// broker's lease machinery handles any of them dying at any moment.
+//
+// Usage:
+//
+//	pcmsimw -broker host:7077 -slots 4
+//
+// SIGTERM/SIGINT exits gracefully: running shards are cancelled and the
+// worker deregisters so its leases requeue immediately. A SIGKILL (or a
+// crash) is also fine — the broker notices the missed heartbeats and
+// retries the leased shards on surviving workers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"tetriswrite/internal/fleet"
+	"tetriswrite/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "pcmsimw: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcmsimw", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "pcmsimw"
+	}
+	var (
+		broker  = fs.String("broker", "localhost:7077", "broker RPC address")
+		name    = fs.String("name", host, "worker name reported to the broker")
+		slots   = fs.Int("slots", runtime.GOMAXPROCS(0), "concurrent shard simulations")
+		showVer = fs.Bool("version", false, "print build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("pcmsimw"))
+		return nil
+	}
+	if *slots <= 0 {
+		return fmt.Errorf("-slots %d: want >= 1", *slots)
+	}
+
+	logger := log.New(stderr, "pcmsimw: ", log.LstdFlags|log.Lmsgprefix)
+	logger.Printf("%s", version.String("pcmsimw"))
+	w := fleet.NewWorker(fleet.WorkerConfig{
+		Broker:  *broker,
+		Name:    *name,
+		Slots:   *slots,
+		Version: version.String("pcmsimw"),
+		Logf:    logger.Printf,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return w.Run(ctx)
+}

@@ -34,6 +34,7 @@ import (
 	"tetriswrite/internal/sim"
 	"tetriswrite/internal/stats"
 	"tetriswrite/internal/units"
+	"tetriswrite/internal/version"
 )
 
 func main() {
@@ -77,9 +78,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		epochStr  = fs.String("epoch", "", "attach epoch telemetry to the full-system figures and print the per-scheme summary, e.g. 10us")
 		benchJSON = fs.Bool("bench-json", false, "write a BENCH_<date>.json perf-trajectory artifact and exit")
 		benchDir  = fs.String("bench-dir", ".", "directory for the -bench-json artifact")
+		showVer   = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("tetrisbench"))
+		return nil
 	}
 
 	if *par < 0 {

@@ -16,6 +16,7 @@ import (
 
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/trace"
+	"tetriswrite/internal/version"
 	"tetriswrite/internal/workload"
 )
 
@@ -32,15 +33,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		wl    = fs.String("workload", "vips", "workload profile")
-		cores = fs.Int("cores", 4, "number of cores")
-		ops   = fs.Int("ops", 100_000, "operations to emit")
-		seed  = fs.Int64("seed", 1, "generator seed")
-		out   = fs.String("o", "", "output file (default stdout)")
-		dump  = fs.String("dump", "", "dump a trace file as text instead of generating")
+		wl      = fs.String("workload", "vips", "workload profile")
+		cores   = fs.Int("cores", 4, "number of cores")
+		ops     = fs.Int("ops", 100_000, "operations to emit")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		out     = fs.String("o", "", "output file (default stdout)")
+		dump    = fs.String("dump", "", "dump a trace file as text instead of generating")
+		showVer = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("tracegen"))
+		return nil
 	}
 
 	if *dump != "" {

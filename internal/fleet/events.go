@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry in a job's live event stream: every lease, retry,
+// completion, worker expiry and state change, as JSON lines. The stream
+// is the operator's flight recorder — `curl .../events` during a chaos
+// drill shows exactly which worker died, which shards bounced and where
+// they landed.
+type Event struct {
+	Seq     int    `json:"seq"`
+	Time    string `json:"time"` // wall clock, RFC3339Nano
+	Type    string `json:"type"`
+	Job     string `json:"job"`
+	Shard   int    `json:"shard"` // -1 for job-level events
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Fp      string `json:"fp,omitempty"`
+	Err     string `json:"err,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// eventLog retains a job's full event history and fans live appends out
+// to subscribers. Slow subscribers are not allowed to stall the broker:
+// a subscriber whose buffer is full misses events (it still has the
+// history snapshot; the stream is diagnostics, not a ledger).
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: make(map[chan Event]struct{})}
+}
+
+// append records the event, stamping sequence and time.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = len(l.events)
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	l.events = append(l.events, e)
+	for ch := range l.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop, history still has it
+		}
+	}
+}
+
+// subscribe returns the history so far and a channel of subsequent
+// events; the channel is closed when the job reaches a terminal state.
+// done=true means the log is already closed and no channel is returned.
+func (l *eventLog) subscribe() (history []Event, ch chan Event, done bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	history = append([]Event(nil), l.events...)
+	if l.closed {
+		return history, nil, true
+	}
+	ch = make(chan Event, 256)
+	l.subs[ch] = struct{}{}
+	return history, ch, false
+}
+
+// unsubscribe detaches a live subscriber.
+func (l *eventLog) unsubscribe(ch chan Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.subs[ch]; ok {
+		delete(l.subs, ch)
+		close(ch)
+	}
+}
+
+// close ends the stream: all subscribers' channels close after the
+// final event they can drain.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		delete(l.subs, ch)
+		close(ch)
+	}
+}

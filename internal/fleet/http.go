@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tetriswrite/internal/telemetry"
+	"tetriswrite/internal/version"
+)
+
+// Handler returns the broker's HTTP API:
+//
+//	POST /jobs               submit a SweepSpec (JSON body), returns {"job": id}
+//	GET  /jobs               list job statuses
+//	GET  /jobs/{id}          one job's status
+//	POST /jobs/{id}/cancel   cancel a job
+//	GET  /jobs/{id}/result   rendered figure tables (text); ?partial=1 renders incomplete jobs
+//	GET  /jobs/{id}/wait     block until the job is terminal, then return its status
+//	GET  /jobs/{id}/events   JSON-lines event stream: full history, then live until terminal
+//	GET  /workers            registered workers
+//	GET  /metrics            Prometheus exposition of the fleet registry
+//	GET  /metrics/stream     JSON-lines stream of periodic registry snapshots (?every=1s)
+//	GET  /healthz            liveness + drain state
+//	GET  /version            build identity (workers must match)
+func (b *Broker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", b.handleSubmit)
+	mux.HandleFunc("GET /jobs", b.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", b.handleStatus)
+	mux.HandleFunc("POST /jobs/{id}/cancel", b.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", b.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/wait", b.handleWait)
+	mux.HandleFunc("GET /jobs/{id}/events", b.handleEvents)
+	mux.HandleFunc("GET /workers", b.handleWorkers)
+	mux.HandleFunc("GET /metrics", b.handleMetrics)
+	mux.HandleFunc("GET /metrics/stream", b.handleMetricsStream)
+	mux.HandleFunc("GET /healthz", b.handleHealthz)
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, version.String("pcmsimd"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	id, err := b.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"job": id})
+	}
+}
+
+func (b *Broker) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, b.Jobs())
+}
+
+func (b *Broker) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := b.Status(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %s", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (b *Broker) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := b.Cancel(r.PathValue("id")); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st, _ := b.Status(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (b *Broker) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	partial := r.URL.Query().Get("partial") != ""
+	st, ok := b.Status(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	if st.State != string(JobCompleted) && !partial {
+		httpError(w, http.StatusConflict, "job %s is %s; pass ?partial=1 for a partial table", id, st.State)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := b.WriteResult(w, id, partial); err != nil {
+		// Headers are out; nothing better to do than note it inline.
+		fmt.Fprintf(w, "\nrender error: %v\n", err)
+	}
+}
+
+func (b *Broker) handleWait(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := b.Wait(r.Context(), id); err != nil {
+		if r.Context().Err() != nil {
+			return // client went away; the job keeps running regardless
+		}
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st, _ := b.Status(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the job's event history and then live events as
+// JSON lines until the job is terminal or the client disconnects.
+func (b *Broker) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	b.mu.Lock()
+	j, ok := b.jobs[id]
+	b.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	history, live, done := j.events.subscribe()
+	for _, e := range history {
+		enc.Encode(e)
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if done || r.URL.Query().Get("follow") == "0" {
+		if live != nil {
+			j.events.unsubscribe(live)
+		}
+		return
+	}
+	defer j.events.unsubscribe(live)
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				return // job terminal: stream complete
+			}
+			enc.Encode(e)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (b *Broker) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, b.Workers())
+}
+
+func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, b.reg)
+}
+
+// handleMetricsStream emits telemetry.EpochRecord JSON lines from live
+// registry snapshots — the service-side analogue of a simulation run's
+// epochs.jsonl, consumable by the same tooling.
+func (b *Broker) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
+	every := time.Second
+	if s := r.URL.Query().Get("every"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad every=%q", s)
+			return
+		}
+		every = d
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	start := time.Now()
+	for epoch := 0; ; epoch++ {
+		enc.Encode(telemetry.SnapshotRecord(b.reg, epoch, time.Since(start).Nanoseconds()*1000))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+func (b *Broker) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	draining := b.draining
+	workers := len(b.workers)
+	jobs := len(b.jobs)
+	b.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "draining": draining, "workers": workers, "jobs": jobs,
+	})
+}

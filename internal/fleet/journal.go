@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The journal is the broker's only durable state: an append-only
+// JSON-lines file recording job submissions, shard completions and job
+// terminations. A restarted broker replays it to rebuild every job —
+// terminal jobs stay queryable (their results still render), running
+// jobs resume with exactly their unfinished shards re-issued — and the
+// union of all journaled shard results seeds the fingerprint cache, so
+// the journal doubles as the response cache across restarts.
+//
+// Records are self-describing and order matters only per job. A crash
+// mid-append can truncate the final line; replay tolerates exactly one
+// trailing partial record (anything worse is reported as corruption).
+
+// Record is one journal entry. Type selects which fields are set:
+//
+//	"job"    — Job, Spec: a submission, spec pre-normalized
+//	"shard"  — Job, Shard, Attempt, Result: a completion
+//	"done"   — Job, State ("completed"/"failed"), Err: a termination
+//	"cancel" — Job: a client cancellation
+type Record struct {
+	V       int          `json:"v"`
+	Type    string       `json:"type"`
+	Job     string       `json:"job,omitempty"`
+	State   string       `json:"state,omitempty"`
+	Err     string       `json:"err,omitempty"`
+	Spec    *SweepSpec   `json:"spec,omitempty"`
+	Shard   int          `json:"shard,omitempty"`
+	Attempt int          `json:"attempt,omitempty"`
+	Result  *ShardResult `json:"result,omitempty"`
+}
+
+// Journal appends records durably: every Append is written and synced
+// before it returns, so an acknowledged shard completion survives a
+// broker kill at any instant.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal replays the journal at path (creating it if absent) and
+// returns the journal opened for appending plus the replayed records.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := readRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fleet: journal %s: %w", path, err)
+	}
+	// Append from the end of the last complete record: a truncated
+	// trailing line (crash mid-append) is overwritten by the next one.
+	if _, err := f.Seek(tailOffset(recs, f), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f, path: path}, recs, nil
+}
+
+// tailOffset returns the byte offset just past the last complete
+// record, re-serializing is not reliable (whitespace), so re-scan.
+func tailOffset(recs []Record, f *os.File) int64 {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0
+	}
+	var off int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	n := 0
+	for n < len(recs) && sc.Scan() {
+		off += int64(len(sc.Bytes())) + 1
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return off
+}
+
+// readRecords parses every complete record; a single malformed final
+// line is treated as a torn append and dropped.
+func readRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	var torn bool
+	for sc.Scan() {
+		line++
+		if torn {
+			return nil, fmt.Errorf("line %d: record follows malformed line %d", line, line-1)
+		}
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			// Possibly the torn final append; only acceptable if
+			// nothing follows.
+			torn = true
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Append writes one record and syncs it to stable storage.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	rec.V = 1
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

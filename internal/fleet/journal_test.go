@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tetriswrite/internal/system"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	spec := SweepSpec{Workloads: []string{"vips"}, Schemes: []string{"tetris"}, Instr: 1000}
+	res := ShardResult{Fp: "deadbeefdeadbeef", Summary: system.Summary{Workload: "vips", Scheme: "tetris", IPC: 1.25}}
+	want := []Record{
+		{Type: "job", Job: "j0000", Spec: &spec},
+		{Type: "shard", Job: "j0000", Shard: 3, Attempt: 2, Result: &res},
+		{Type: "done", Job: "j0000", State: "completed"},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Type != want[i].Type || r.Job != want[i].Job || r.V != 1 {
+			t.Errorf("record %d = %+v", i, r)
+		}
+	}
+	if got := *recs[1].Result; got != res {
+		t.Errorf("shard result did not survive the round trip: %+v vs %+v", got, res)
+	}
+	if recs[0].Spec == nil || recs[0].Spec.Instr != 1000 {
+		t.Errorf("spec did not survive: %+v", recs[0].Spec)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a partial final line;
+// replay drops it and the next append overwrites it.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	body := `{"v":1,"type":"job","job":"j0000"}` + "\n" + `{"v":1,"type":"shar`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Job != "j0000" {
+		t.Fatalf("replayed %+v, want just the complete record", recs)
+	}
+	if err := j.Append(Record{Type: "done", Job: "j0000", State: "failed"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 2 || recs[1].Type != "done" {
+		t.Fatalf("after overwrite: %+v, want the torn line replaced by the new record", recs)
+	}
+}
+
+// TestJournalCorruptionMidFile: a malformed line with records after it
+// is real corruption, not a torn append, and must be rejected loudly.
+func TestJournalCorruptionMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	body := `{"v":1,"type":"job","job":"j0000"}` + "\n" + "garbage\n" + `{"v":1,"type":"done","job":"j0000"}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+// TestJournalNilSafe: a broker without a journal path calls through a
+// nil *Journal everywhere; every method must be a no-op.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Record{Type: "job"}); err != nil {
+		t.Errorf("nil Append = %v", err)
+	}
+	if p := j.Path(); p != "" {
+		t.Errorf("nil Path = %q", p)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"time"
+
+	"tetriswrite/internal/system"
+)
+
+// The worker-facing protocol, carried over net/rpc with gob encoding.
+// The flow is pull-based: workers register, then poll Next for leases
+// and report with Complete, heartbeating in between. Pull keeps the
+// broker free of per-worker connection state — a worker that vanishes
+// simply stops calling, and its lease expiry does the cleanup — and it
+// means a worker behind NAT or a flaky link needs no listening socket.
+//
+// Every type here is a flat struct of exported basic fields so gob
+// round-trips it exactly; time.Durations are broker-dictated intervals,
+// letting operators retune lease cadence without touching workers.
+
+// RPCService is the name the broker's RPC receiver registers under.
+const RPCService = "Fleet"
+
+// RegisterArgs announces a worker to the broker.
+type RegisterArgs struct {
+	Name    string // operator-facing label (hostname by default)
+	Version string // build identity; logged for parity auditing
+	Slots   int    // concurrent shards this worker will run
+}
+
+// RegisterReply grants the worker its identity and cadence.
+type RegisterReply struct {
+	WorkerID       string
+	LeaseTTL       time.Duration // miss heartbeats this long and the lease is gone
+	HeartbeatEvery time.Duration // beat interval the broker expects
+	Poll           time.Duration // idle wait between Next calls that found nothing
+}
+
+// HeartbeatArgs renews a worker's lease.
+type HeartbeatArgs struct {
+	WorkerID string
+}
+
+// HeartbeatReply acknowledges the beat. OK=false means the broker no
+// longer knows this worker (lease already expired, or the broker
+// restarted): the worker must abandon its running shards and
+// re-register. CancelJobs lists jobs whose shards the worker should
+// stop running — cancelled, failed or deadline-exceeded jobs.
+type HeartbeatReply struct {
+	OK         bool
+	CancelJobs []string
+}
+
+// NextArgs asks for one shard lease.
+type NextArgs struct {
+	WorkerID string
+}
+
+// NextReply carries at most one assignment.
+type NextReply struct {
+	Found bool
+	A     Assignment
+}
+
+// Assignment is one leased shard.
+type Assignment struct {
+	Job     string
+	Shard   int           // index into the job's shard list
+	Attempt int           // 1-based attempt number, for logs and events
+	Timeout time.Duration // per-attempt wall-clock bound (0 = none)
+	Spec    ShardSpec
+}
+
+// CompleteArgs reports one attempt's outcome. OK with a Result on
+// success; otherwise Err holds the failure. A Complete from a worker
+// the broker has expired is still accepted when the result is valid —
+// deterministic work is deterministic work — and cross-checked against
+// any duplicate.
+type CompleteArgs struct {
+	WorkerID string
+	Job      string
+	Shard    int
+	Attempt  int
+	OK       bool
+	Result   ShardResult
+	Err      string
+}
+
+// CompleteReply acknowledges the report.
+type CompleteReply struct{}
+
+// DeregisterArgs is a clean goodbye: the broker requeues the worker's
+// leased shards immediately (without burning a retry attempt — nothing
+// failed) instead of waiting out the lease.
+type DeregisterArgs struct {
+	WorkerID string
+}
+
+// DeregisterReply acknowledges the goodbye.
+type DeregisterReply struct{}
+
+// ShardResult is a completed shard: the wire-safe metric summary plus
+// the fingerprint it answers for. Comparable with ==, which is how the
+// broker cross-checks duplicated completions for byte-identity.
+type ShardResult struct {
+	Fp      string
+	Summary system.Summary
+}

@@ -130,30 +130,106 @@ func All[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
 	return results
 }
 
-// runJob drives one job through its attempts.
+// Backoff computes the delay before retry attempt n (1-based) as an
+// exponential series with an optional cap and optional deterministic
+// jitter. It is the shared retry-pacing policy: the pool uses it
+// between local attempts and the fleet broker uses it to space shard
+// re-issues across surviving workers, so both layers wait the same way.
+type Backoff struct {
+	// Base is the delay before the first retry; <= 0 means 100ms.
+	Base time.Duration
+	// Max caps the grown delay; 0 means uncapped.
+	Max time.Duration
+	// Jitter spreads each delay uniformly over ±Jitter fraction of
+	// itself (0..1), decorrelating retry storms when many shards fail
+	// at once (a worker death fails its whole lease set together).
+	Jitter float64
+	// Seed makes the jitter deterministic per consumer: the same
+	// (Seed, attempt) always yields the same delay, so tests and
+	// journal replays see reproducible schedules. A zero Seed is a
+	// valid seed.
+	Seed uint64
+}
+
+// Delay returns the wait before retry attempt n (n >= 1).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.Base
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		// splitmix64 finalizer over (Seed, attempt): uniform in
+		// [1-Jitter, 1+Jitter) without any shared RNG state.
+		z := b.Seed + 0x9e3779b97f4a7c15*uint64(attempt+1)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		u := float64(z>>11) / (1 << 53) // [0,1)
+		d = time.Duration(float64(d) * (1 - b.Jitter + 2*b.Jitter*u))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+	}
+	return d
+}
+
+// runJob drives one job through its attempts. The backoff timer is
+// created once and reused across retries with the documented
+// Stop-then-drain dance, so a sweep of thousands of retrying jobs does
+// not leak a timer per attempt and a cancelled wait frees its timer
+// immediately instead of at expiry.
 func runJob[T any](ctx context.Context, job Job[T], opt Options) Result[T] {
 	res := Result[T]{Name: job.Name}
-	backoff := opt.backoff()
+	bo := Backoff{Base: opt.backoff()}
+	var t *time.Timer
+	defer func() {
+		if t != nil {
+			t.Stop()
+		}
+	}()
 	for attempt := 0; ; attempt++ {
 		res.Attempts = attempt + 1
-		res.Value, res.Err = runAttempt(ctx, job, opt.JobTimeout)
+		res.Value, res.Err = Attempt(ctx, job.Name, opt.JobTimeout, job.Run)
 		if res.Err == nil || attempt >= opt.Retries || ctx.Err() != nil {
 			return res
 		}
-		t := time.NewTimer(backoff)
+		d := bo.Delay(attempt + 1)
+		if t == nil {
+			t = time.NewTimer(d)
+		} else {
+			// The timer has always fired by the time we get here (the
+			// cancellation arm returns), so the channel is empty and
+			// Reset is race-free without a drain.
+			t.Reset(d)
+		}
 		select {
 		case <-ctx.Done():
-			t.Stop()
 			return res
 		case <-t.C:
 		}
-		backoff *= 2
 	}
 }
 
-// runAttempt executes one attempt with the timeout applied and panics
-// converted to errors.
-func runAttempt[T any](ctx context.Context, job Job[T], timeout time.Duration) (v T, err error) {
+// Attempt executes fn once under the pool's per-attempt semantics: the
+// timeout (when positive) bounds its wall-clock time through a derived
+// context, and a panic is converted to a *PanicError instead of
+// unwinding the caller. Exported so single-shot supervised work — a
+// fleet worker running one leased shard — shares the exact failure
+// envelope of a pooled job.
+func Attempt[T any](ctx context.Context, name string, timeout time.Duration, fn func(context.Context) (T, error)) (v T, err error) {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -161,10 +237,10 @@ func runAttempt[T any](ctx context.Context, job Job[T], timeout time.Duration) (
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			err = &PanicError{Job: job.Name, Value: p, Stack: debug.Stack()}
+			err = &PanicError{Job: name, Value: p, Stack: debug.Stack()}
 		}
 	}()
-	return job.Run(ctx)
+	return fn(ctx)
 }
 
 // FirstErr returns the first failed result's error (with the job name

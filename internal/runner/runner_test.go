@@ -173,3 +173,153 @@ func TestOnDoneProgress(t *testing.T) {
 		t.Errorf("OnDone fired %d times, want 8", done.Load())
 	}
 }
+
+// TestBackoffDelayDeterministic: the same (Seed, attempt) pair always
+// yields the same delay — the property the fleet broker's journal
+// replay and these very tests rely on.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Jitter: 0.2, Seed: 42}
+	for attempt := 1; attempt <= 8; attempt++ {
+		d1 := b.Delay(attempt)
+		d2 := b.Delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) nondeterministic: %v vs %v", attempt, d1, d2)
+		}
+	}
+	other := Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Jitter: 0.2, Seed: 43}
+	same := 0
+	for attempt := 1; attempt <= 8; attempt++ {
+		if b.Delay(attempt) == other.Delay(attempt) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("different seeds produced identical schedules — jitter is not seed-dependent")
+	}
+}
+
+// TestBackoffDelayGrowthAndCap: delays double from Base and saturate at
+// Max; jitter keeps every delay within ±Jitter of the nominal value.
+func TestBackoffDelayGrowthAndCap(t *testing.T) {
+	plain := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := plain.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := plain.Delay(0); got != plain.Delay(1) {
+		t.Errorf("Delay(0) = %v, want clamp to Delay(1) = %v", got, plain.Delay(1))
+	}
+	if got := (Backoff{}).Delay(1); got != 100*time.Millisecond {
+		t.Errorf("zero-value Base: Delay(1) = %v, want 100ms default", got)
+	}
+	jit := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.2, Seed: 7}
+	for i, w := range want {
+		got := jit.Delay(i + 1)
+		lo := time.Duration(float64(w) * 0.8)
+		hi := time.Duration(float64(w) * 1.2)
+		if got < lo || got > hi {
+			t.Errorf("jittered Delay(%d) = %v outside [%v, %v]", i+1, got, lo, hi)
+		}
+	}
+}
+
+// TestCancelDuringBackoffWait: cancelling the supervisor while a job is
+// waiting out its retry backoff returns promptly with the attempt's
+// original error — the wait must not run to completion.
+func TestCancelDuringBackoffWait(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sentinel := errors.New("transient")
+	attempted := make(chan struct{}, 1)
+	jobs := []Job[int]{{
+		Name: "waiting",
+		Run: func(context.Context) (int, error) {
+			select {
+			case attempted <- struct{}{}:
+			default:
+			}
+			return 0, sentinel
+		},
+	}}
+	go func() {
+		<-attempted // first attempt has failed; the pool is now in backoff
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	results := All(ctx, jobs, Options{Retries: 3, Backoff: time.Hour})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel did not interrupt the backoff wait (%v elapsed)", elapsed)
+	}
+	if !errors.Is(results[0].Err, sentinel) {
+		t.Errorf("err = %v, want the attempt's original error", results[0].Err)
+	}
+	if results[0].Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (cancelled before the retry ran)", results[0].Attempts)
+	}
+}
+
+// TestJobTimeoutRacesCompletion: a job that finishes just inside its
+// timeout wins cleanly, and one that finishes concurrently with firing
+// settles as exactly one of the two outcomes — never a torn result.
+func TestJobTimeoutRacesCompletion(t *testing.T) {
+	fast := []Job[int]{{
+		Name: "fast",
+		Run:  func(context.Context) (int, error) { return 42, nil },
+	}}
+	results := All(context.Background(), fast, Options{JobTimeout: 10 * time.Second})
+	if results[0].Err != nil || results[0].Value != 42 {
+		t.Fatalf("fast job lost its race with a distant timeout: %+v", results[0])
+	}
+	// Race the two endings for real: many jobs sleeping right at the
+	// timeout boundary. Each must settle as either a clean success or a
+	// clean deadline error.
+	n := 32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("edge-%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(5 * time.Millisecond):
+					return 1, nil
+				}
+			},
+		}
+	}
+	for i, r := range All(context.Background(), jobs, Options{JobTimeout: 5 * time.Millisecond, Workers: 8}) {
+		ok := r.Err == nil && r.Value == 1
+		timedOut := errors.Is(r.Err, context.DeadlineExceeded) && r.Value == 0
+		if !ok && !timedOut {
+			t.Errorf("job %d settled as neither outcome: %+v", i, r)
+		}
+	}
+}
+
+// TestAttemptStandalone: the exported single-shot path applies the
+// timeout and converts panics the same way pooled jobs do.
+func TestAttemptStandalone(t *testing.T) {
+	v, err := Attempt(context.Background(), "ok", 0, func(context.Context) (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("Attempt = %d, %v", v, err)
+	}
+	_, err = Attempt(context.Background(), "slow", 10*time.Millisecond, func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timeout err = %v", err)
+	}
+	_, err = Attempt(context.Background(), "boom", 0, func(context.Context) (int, error) { panic("pow") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Job != "boom" {
+		t.Errorf("panic err = %v, want *PanicError for job boom", err)
+	}
+}

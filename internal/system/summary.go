@@ -1,0 +1,63 @@
+package system
+
+import "tetriswrite/internal/units"
+
+// Summary is the compact, wire-safe projection of a Result: the scalar
+// metrics the paper's full-system figures (11-14 and the energy table)
+// are rendered from, with durations flattened to picosecond integers.
+// Every field is an exported basic type, so a Summary crosses encoding
+// boundaries (gob for the fleet RPC, JSON for the shard journal)
+// without loss: float64 values survive encoding/json's shortest
+// round-trip formatting bit-exactly, which is what lets a broker
+// assembled from remote summaries render tables byte-identical to a
+// serial in-process sweep.
+//
+// The histogram-backed extras (tail latency, epoch telemetry) are
+// deliberately absent — they stay with the worker that ran the shard.
+type Summary struct {
+	Workload string
+	Scheme   string
+	Seed     int64
+
+	RunningTimePs  int64
+	IPC            float64
+	ReadLatencyPs  int64
+	WriteLatencyPs int64
+	WriteUnits     float64
+	Energy         float64
+	EnergyPerWrite float64
+}
+
+// Summarize projects a Result onto its Summary.
+func Summarize(r Result, seed int64) Summary {
+	return Summary{
+		Workload:       r.Workload,
+		Scheme:         r.Scheme,
+		Seed:           seed,
+		RunningTimePs:  int64(r.RunningTime),
+		IPC:            r.IPC,
+		ReadLatencyPs:  int64(r.ReadLatency),
+		WriteLatencyPs: int64(r.WriteLatency),
+		WriteUnits:     r.WriteUnits,
+		Energy:         r.Energy,
+		EnergyPerWrite: r.EnergyPerWrite,
+	}
+}
+
+// Result inflates the Summary back into a sparse Result carrying
+// exactly the summarized scalars; the composite fields (Ctrl, Cores,
+// Telemetry, ...) are zero. Sufficient for every figure table built on
+// those scalars.
+func (s Summary) Result() Result {
+	return Result{
+		Workload:       s.Workload,
+		Scheme:         s.Scheme,
+		RunningTime:    units.Duration(s.RunningTimePs),
+		IPC:            s.IPC,
+		ReadLatency:    units.Duration(s.ReadLatencyPs),
+		WriteLatency:   units.Duration(s.WriteLatencyPs),
+		WriteUnits:     s.WriteUnits,
+		Energy:         s.Energy,
+		EnergyPerWrite: s.EnergyPerWrite,
+	}
+}

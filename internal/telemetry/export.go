@@ -94,6 +94,21 @@ type EpochRecord struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// SnapshotRecord polls every metric of a live registry into one
+// EpochRecord — the streaming counterpart of the sampler's ring for
+// consumers that tail a long-running process (the fleet broker's
+// /metrics/stream endpoint) rather than replay a finished simulation.
+// Metric names are keys exactly as registered, matching WriteJSONLines,
+// so the same tooling parses both streams.
+func SnapshotRecord(reg *Registry, epoch int, timePs int64) EpochRecord {
+	ms := reg.Metrics()
+	rec := EpochRecord{Epoch: epoch, TimePs: timePs, Metrics: make(map[string]float64, len(ms))}
+	for _, m := range ms {
+		rec.Metrics[m.Name] = m.Value()
+	}
+	return rec
+}
+
 // WriteJSONLines writes one EpochRecord per retained epoch.
 func (s *Sampler) WriteJSONLines(w io.Writer) error {
 	names := s.SeriesNames()

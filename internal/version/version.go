@@ -1,0 +1,72 @@
+// Package version carries the build identity every binary reports via
+// its -version flag. Fleet deployments care because a broker and its
+// workers must run the same simulator build: per-shard Results are only
+// byte-identical across retries when every worker computes them with
+// identical code, so operators diff `pcmsimd -version` against
+// `pcmsimw -version` before trusting a sweep.
+//
+// Commit and Date are injected at link time (see the Makefile's
+// LDFLAGS); a `go build` without them falls back to the VCS stamp Go
+// embeds in the binary, and failing that reports "devel".
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Commit and Date are overridden via
+//
+//	-ldflags "-X tetriswrite/internal/version.Commit=<sha> -X tetriswrite/internal/version.Date=<date>"
+var (
+	Commit = ""
+	Date   = ""
+)
+
+// Resolve returns the effective (commit, date) pair: the ldflags values
+// when injected, otherwise the VCS build settings stamped by the Go
+// toolchain, otherwise "devel"/"unknown".
+func Resolve() (commit, date string) {
+	commit, date = Commit, Date
+	if commit != "" && date != "" {
+		return commit, date
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if commit == "" {
+					commit = s.Value
+					if len(commit) > 12 {
+						commit = commit[:12]
+					}
+				}
+			case "vcs.time":
+				if date == "" {
+					date = s.Value
+				}
+			case "vcs.modified":
+				if s.Value == "true" && Commit == "" {
+					defer func() { commit += "+dirty" }()
+				}
+			}
+		}
+	}
+	if commit == "" {
+		commit = "devel"
+	}
+	if date == "" {
+		date = "unknown"
+	}
+	return commit, date
+}
+
+// String renders the one-line version report of the named binary:
+//
+//	pcmsimd version <commit> built <date> (go1.24.0 linux/amd64)
+func String(binary string) string {
+	commit, date := Resolve()
+	return fmt.Sprintf("%s version %s built %s (%s %s/%s)",
+		binary, commit, date, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

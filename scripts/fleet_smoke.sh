@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end fleet smoke test: start a pcmsimd broker and two pcmsimw
+# workers on loopback, submit a figure-13 sweep, SIGKILL one worker
+# mid-run, and require (a) the job still completes via lease expiry +
+# retry and (b) the rendered table is byte-identical to a serial
+# tetrisbench run. CI runs this via `make fleet-smoke`; it is also safe
+# to run locally (ports are non-default to avoid colliding with a real
+# deployment).
+set -euo pipefail
+
+BIN=${BIN:-bin}
+RPC=${RPC:-127.0.0.1:7177}
+HTTP=${HTTP:-127.0.0.1:7170}
+INSTR=${INSTR:-20000}
+WORK=$(mktemp -d)
+export FLEET_SMOKE_JOURNAL="$WORK/journal.jsonl"
+
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    # Keep the journal for CI artifact upload when requested.
+    if [ -n "${FLEET_SMOKE_KEEP:-}" ]; then
+        cp "$WORK/journal.jsonl" "${FLEET_SMOKE_KEEP}" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== broker"
+"$BIN/pcmsimd" -rpc "$RPC" -http "$HTTP" -journal "$WORK/journal.jsonl" \
+    -lease 2s -poll 50ms -backoff 100ms -max-backoff 1s &
+
+for i in $(seq 1 100); do
+    if curl -fsS "http://$HTTP/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" = 100 ] && { echo "broker never became healthy" >&2; exit 1; }
+    sleep 0.1
+done
+"$BIN/pcmsimd" -version
+
+echo "== workers"
+"$BIN/pcmsimw" -broker "$RPC" -name smoke-w1 -slots 2 &
+"$BIN/pcmsimw" -broker "$RPC" -name smoke-w2 -slots 2 &
+W2=$!
+
+echo "== submit"
+JOB=$(curl -fsS -XPOST "http://$HTTP/jobs" -d "{\"figs\":[13],\"instr\":$INSTR}" |
+    sed -n 's/.*"job": *"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "job submit failed" >&2; exit 1; }
+echo "job: $JOB"
+
+# Let the sweep get going, then kill one worker the hard way: no
+# deregistration, no goodbye — the broker must notice the silence and
+# retry its leased shards on the survivor.
+sleep 2
+echo "== SIGKILL worker w2 (pid $W2)"
+kill -9 "$W2"
+
+echo "== wait"
+STATUS=$(curl -fsS --max-time 600 "http://$HTTP/jobs/$JOB/wait")
+echo "$STATUS"
+echo "$STATUS" | grep -q '"state": *"completed"' ||
+    { echo "job did not complete" >&2; exit 1; }
+
+echo "== compare against serial tetrisbench"
+curl -fsS "http://$HTTP/jobs/$JOB/result" >"$WORK/fleet.txt"
+"$BIN/tetrisbench" -fig 13 -instr "$INSTR" -parallel 1 >"$WORK/serial.txt"
+if ! diff -u "$WORK/serial.txt" "$WORK/fleet.txt"; then
+    echo "fleet result differs from serial reference" >&2
+    exit 1
+fi
+
+echo "== fleet smoke OK (job $JOB byte-identical to serial)"
