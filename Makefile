@@ -2,10 +2,11 @@
 
 GO ?= go
 FUZZTIME ?= 10s
-# The gated hot-path benchmarks: per-write planning cost, one full
-# system simulation end to end, and the long-trace event-engine sweep
-# (timing wheel vs the seed binary heap across pending populations).
-BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkFullSystemSingle|BenchmarkEngineLongTrace
+# The gated hot-path benchmarks: per-write planning cost (base and
+# registry-composed schemes), one full system simulation end to end, and
+# the long-trace event-engine sweep (timing wheel vs the seed binary
+# heap across pending populations).
+BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkComposedSchemePlanWrite|BenchmarkFullSystemSingle|BenchmarkEngineLongTrace
 BENCHCOUNT ?= 3
 
 # Build stamping for `<binary> -version`: ldflags override the

@@ -15,6 +15,7 @@ import (
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/sim"
 	"tetriswrite/internal/system"
+	"tetriswrite/internal/tetris"
 	"tetriswrite/internal/units"
 	"tetriswrite/internal/workload"
 )
@@ -162,37 +163,51 @@ func BenchmarkFig14RunningTime(b *testing.B) { fullSystemBench(b, "fig14") }
 // path — 0 allocs/op is the gated expectation, and any allocation here
 // is a hot-path regression.
 func BenchmarkSchemePlanWrite(b *testing.B) {
-	par := DefaultParams()
 	for _, name := range SchemeNames() {
-		b.Run(name, func(b *testing.B) {
-			s, err := NewScheme(name, par)
-			if err != nil {
-				b.Fatal(err)
-			}
-			rec, _ := s.(schemes.PlanRecycler)
-			old := make([]byte, 64)
-			new := make([]byte, 64)
-			for i := 0; i < 10; i++ {
-				new[i*6%64] ^= 1 << (i % 8)
-			}
-			cycle := func(i int) {
-				plan := s.PlanWrite(LineAddr(i%256), old, new)
-				_ = plan.ServiceTime()
-				if rec != nil {
-					rec.RecyclePlan(plan)
-				}
-			}
-			// Warm the pulse freelist, scratch arenas and (for Tetris)
-			// the schedule memo-cache before measuring.
-			for i := 0; i < 256; i++ {
-				cycle(i)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cycle(i)
-			}
-		})
+		b.Run(name, func(b *testing.B) { benchPlanWrite(b, name) })
+	}
+}
+
+// BenchmarkComposedSchemePlanWrite measures the decorator overhead of
+// registry-composed schemes on the same steady-state path: the flipmin
+// re-encoding pass, the remap density/wear ledger and the mlc P&V bill
+// all sit on the per-write hot path and are expected to stay at
+// 0 allocs/op like the bases they wrap.
+func BenchmarkComposedSchemePlanWrite(b *testing.B) {
+	for _, name := range []string{
+		"dcw+flipmin", "dcw+remap", "tetris+remap", "dcw+mlc", "dcw+flipmin+remap",
+	} {
+		b.Run(name, func(b *testing.B) { benchPlanWrite(b, name) })
+	}
+}
+
+func benchPlanWrite(b *testing.B, name string) {
+	s, err := NewScheme(name, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, _ := s.(schemes.PlanRecycler)
+	old := make([]byte, 64)
+	new := make([]byte, 64)
+	for i := 0; i < 10; i++ {
+		new[i*6%64] ^= 1 << (i % 8)
+	}
+	cycle := func(i int) {
+		plan := s.PlanWrite(LineAddr(i%256), old, new)
+		_ = plan.ServiceTime()
+		if rec != nil {
+			rec.RecyclePlan(plan)
+		}
+	}
+	// Warm the pulse freelist, scratch arenas and (for Tetris)
+	// the schedule memo-cache before measuring.
+	for i := 0; i < 256; i++ {
+		cycle(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(i)
 	}
 }
 
@@ -281,7 +296,7 @@ func BenchmarkFullSystemSingle(b *testing.B) {
 	prof, _ := workload.ProfileByName("canneal")
 	cfg := system.Config{Params: DefaultParams(), InstrBudget: 50_000}
 	for i := 0; i < b.N; i++ {
-		_, err := system.Run(prof, schemeFactories["tetris"], cfg)
+		_, err := system.Run(prof, tetris.New, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -26,27 +26,20 @@ import (
 	"tetriswrite/internal/guard"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/registry"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/sim"
 	"tetriswrite/internal/system"
-	"tetriswrite/internal/tetris"
 	"tetriswrite/internal/trace"
 	"tetriswrite/internal/units"
 	"tetriswrite/internal/version"
 	"tetriswrite/internal/workload"
 )
 
-var factories = map[string]schemes.Factory{
-	"conventional": schemes.NewConventional,
-	"dcw":          schemes.NewDCW,
-	"baseline":     schemes.NewDCW,
-	"fnw":          schemes.NewFlipNWrite,
-	"2stage":       schemes.NewTwoStage,
-	"twostage":     schemes.NewTwoStage,
-	"3stage":       schemes.NewThreeStage,
-	"threestage":   schemes.NewThreeStage,
-	"tetris":       tetris.New,
-}
+// Scheme names resolve through the shared registry: base schemes and
+// their aliases ("baseline", "2stage"), plus composed names like
+// "dcw+flipmin" or "tetris+remap". Unknown names fail with the sorted
+// catalogue.
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -64,7 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		wl        = fs.String("workload", "vips", "workload: one of the 8 PARSEC profiles")
-		scheme    = fs.String("scheme", "tetris", "write scheme: conventional|dcw|fnw|2stage|3stage|tetris")
+		scheme    = fs.String("scheme", "tetris", "write scheme: a registry name (conventional|dcw|fnw|2stage|3stage|tetris|adaptive), composable with +flipmin/+remap/+mlc")
 		instr     = fs.Int64("instr", 1_000_000, "instructions per core")
 		coresN    = fs.Int("cores", 4, "number of cores")
 		seed      = fs.Int64("seed", 1, "workload seed")
@@ -151,10 +144,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-metrics-out needs -epoch to produce any samples")
 	}
 
-	factory, ok := factories[*scheme]
-	if !ok {
-		return fmt.Errorf("unknown scheme %q; have %s", *scheme, strings.Join(keys(), ", "))
+	entry, err := registry.Default().Resolve(*scheme)
+	if err != nil {
+		return err
 	}
+	factory := entry.Factory
 	prof, err := workload.ProfileByName(*wl)
 	if err != nil {
 		return err
@@ -316,10 +310,3 @@ func printResult(w io.Writer, res system.Result, par pcm.Params) {
 	}
 }
 
-func keys() []string {
-	out := make([]string, 0, len(factories))
-	for k := range factories {
-		out = append(out, k)
-	}
-	return out
-}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		par    = fs.Int("parallel", 0, "concurrent full-system simulations (0 = all CPUs; tables are bit-identical at any value)")
 		runTO  = fs.Duration("run-timeout", 0, "wall-clock limit per full-system simulation, e.g. 5m (0 = none)")
 		engine = fs.String("engine", "", "event queue implementation: wheel (default) or heap; tables are bit-identical")
+		schemeList = fs.String("schemes", "", "comma-separated scheme names for the full-system figures (registry names, composable with +, e.g. baseline,tetris,dcw+flipmin,adaptive); empty = the paper set; the first is the normalization baseline")
 		energy = fs.Bool("energy", false, "also print the energy-per-write table with the full-system figures")
 		sweep  = fs.String("sweep", "", "extra sweep beyond the paper: 'line' (64/128/256 B) or 'budget' (32..4)")
 		endur  = fs.Bool("endurance", false, "also run the endurance (wear leveling) table")
@@ -106,6 +108,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Parallel:    *par,
 		RunTimeout:  *runTO,
 		EngineQueue: sim.QueueKind(*engine),
+	}
+	if *schemeList != "" {
+		for _, n := range strings.Split(*schemeList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				opt.Schemes = append(opt.Schemes, n)
+			}
+		}
+		// Fail fast on typos, before any simulation work.
+		if _, err := exp.ResolveSchemes(opt.Schemes); err != nil {
+			return fmt.Errorf("-schemes: %w", err)
+		}
 	}
 	if *epochStr != "" {
 		epoch, err := units.ParseDuration(*epochStr)
@@ -168,6 +181,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var sweepErr error
 	if needFull {
 		fr, sweepErr = exp.RunFullSystemCtx(ctx, opt)
+		if fr == nil {
+			return sweepErr
+		}
 		if sweepErr != nil {
 			total := len(fr.Profiles) * len(fr.Schemes)
 			done := total - fr.Failed()

@@ -2,8 +2,8 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
+	"tetriswrite/internal/registry"
 	"tetriswrite/internal/system"
 	"tetriswrite/internal/workload"
 )
@@ -33,8 +33,14 @@ func ResolveProfiles(names []string) ([]workload.Profile, error) {
 
 // ResolveSchemes maps scheme names to their factories, preserving the
 // given order; an empty list selects the full SchemeSet in paper order.
-// Note the first resolved scheme is the normalization baseline of every
-// figure table, exactly as in a direct sweep.
+// Names matching a paper table label ("baseline", "2stage", ...) keep
+// that label as display name, so the rendered tables stay byte-identical
+// to the historical ones; everything else — canonical names, aliases and
+// composed names like "dcw+flipmin" or "adaptive" — resolves through the
+// scheme registry and is displayed under its canonical spelling. Unknown
+// names fail with the sorted list of registered scheme and decorator
+// names. Note the first resolved scheme is the normalization baseline of
+// every figure table, exactly as in a direct sweep.
 func ResolveSchemes(want []string) ([]NamedFactory, error) {
 	set := SchemeSet()
 	if len(want) == 0 {
@@ -50,9 +56,14 @@ func ResolveSchemes(want []string) ([]NamedFactory, error) {
 				break
 			}
 		}
-		if !found {
-			return nil, fmt.Errorf("exp: unknown scheme %q (have %s)", n, strings.Join(names(set), ", "))
+		if found {
+			continue
 		}
+		e, err := registry.Default().Resolve(n)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
+		}
+		out = append(out, NamedFactory{Name: e.Name, Factory: e.Factory})
 	}
 	return out, nil
 }

@@ -48,6 +48,12 @@ func SchemeSet() []NamedFactory {
 // Options configure the harness.
 type Options struct {
 	Params pcm.Params
+	// Schemes selects the swept schemes by name — paper table labels
+	// ("baseline", "2stage"), registry canonical names or composed
+	// registry names ("dcw+flipmin", "adaptive") — resolved through
+	// ResolveSchemes. Empty selects the full paper SchemeSet. The first
+	// scheme is the normalization baseline of every figure table.
+	Schemes []string
 	// Writes is the number of line writes sampled per workload by the
 	// chip-level experiments (Figures 3 and 10). Default 2000.
 	Writes int
@@ -306,10 +312,14 @@ func RunFullSystem(opt Options) (*FullResults, error) {
 // discarding finished work.
 func RunFullSystemCtx(ctx context.Context, opt Options) (*FullResults, error) {
 	opt.Normalize()
+	schemeSet, err := ResolveSchemes(opt.Schemes)
+	if err != nil {
+		return nil, err
+	}
 	fr := &FullResults{
 		Options:  opt,
 		Profiles: workload.Profiles(),
-		Schemes:  SchemeSet(),
+		Schemes:  schemeSet,
 	}
 	fr.Results = make([][]system.Result, len(fr.Profiles))
 	fr.Errs = make([][]error, len(fr.Profiles))
@@ -464,7 +474,10 @@ func (fr *FullResults) TailLatency() *stats.Table {
 // just the default one.
 func SeedSpread(opt Options, seeds []int64) (*stats.Table, error) {
 	opt.Normalize()
-	set := SchemeSet()
+	set, err := ResolveSchemes(opt.Schemes)
+	if err != nil {
+		return nil, err
+	}
 	perScheme := make([][]float64, len(set))
 	for _, seed := range seeds {
 		o := opt

@@ -30,6 +30,7 @@ import (
 
 	"tetriswrite/internal/exp"
 	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/registry"
 	"tetriswrite/internal/sim"
 	"tetriswrite/internal/system"
 	"tetriswrite/internal/workload"
@@ -190,10 +191,21 @@ type ShardSpec struct {
 // fingerprints mean "same deterministic computation", which is what
 // licenses serving a shard from the completed-shard cache instead of
 // running it again.
+//
+// The scheme name is canonicalized through the registry before hashing
+// (v2): "baseline" and "dcw", or "2stage" and "twostage", are the same
+// computation under different display labels and must share one cache
+// entry, while every distinct composed name ("dcw+flipmin+remap") stays
+// a distinct identity. A name the registry cannot resolve hashes as
+// spelled — Normalize has already rejected it for real jobs.
 func (s ShardSpec) Fingerprint() string {
+	scheme := s.Scheme
+	if canon, err := registry.Default().Canonical(s.Scheme); err == nil {
+		scheme = canon
+	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "tetris-shard|v1|w=%s|s=%s|seed=%d|instr=%d|cores=%d|line=%d|engine=%s",
-		s.Workload, s.Scheme, s.Seed, s.Instr, s.Cores, s.LineBytes, s.Engine)
+	fmt.Fprintf(h, "tetris-shard|v2|w=%s|s=%s|seed=%d|instr=%d|cores=%d|line=%d|engine=%s",
+		s.Workload, scheme, s.Seed, s.Instr, s.Cores, s.LineBytes, s.Engine)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

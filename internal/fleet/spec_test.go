@@ -128,3 +128,71 @@ func TestRunShardUnknownNames(t *testing.T) {
 		t.Error("unknown scheme accepted")
 	}
 }
+
+// TestFingerprintCanonicalizesSchemes: the v2 fingerprint hashes the
+// registry-canonical scheme name, so alias spellings share one cache
+// entry while distinct compositions stay distinct.
+func TestFingerprintCanonicalizesSchemes(t *testing.T) {
+	fp := func(scheme string) string {
+		s := ShardSpec{Workload: "vips", Scheme: scheme, Seed: 1, Instr: 1000,
+			Cores: 4, LineBytes: 64, Engine: "wheel"}
+		return s.Fingerprint()
+	}
+	same := [][2]string{
+		{"baseline", "dcw"},
+		{"2stage", "twostage"},
+		{"3stage", "threestage"},
+		{"flip-n-write", "fnw"},
+		{"baseline+remap", "dcw+remap"},
+	}
+	for _, pair := range same {
+		if fp(pair[0]) != fp(pair[1]) {
+			t.Errorf("Fingerprint(%q) != Fingerprint(%q): aliases must share cache entries", pair[0], pair[1])
+		}
+	}
+	distinct := []string{"dcw", "dcw+flipmin", "dcw+remap", "dcw+flipmin+remap", "dcw+mlc", "adaptive", "adaptive+remap"}
+	seen := map[string]string{}
+	for _, name := range distinct {
+		h := fp(name)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("Fingerprint(%q) collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+// TestRunShardComposedScheme: a composed registry name runs end to end
+// through the fleet shard runner, deterministically.
+func TestRunShardComposedScheme(t *testing.T) {
+	sp := ShardSpec{Workload: "canneal", Scheme: "dcw+flipmin", Seed: 1,
+		Instr: 2000, Cores: 2, LineBytes: 64, Engine: "wheel"}
+	s1, err := RunShard(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunShard(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("composed-scheme shard not deterministic:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Scheme != "dcw+flipmin" {
+		t.Errorf("summary scheme = %q", s1.Scheme)
+	}
+}
+
+// TestSpecNormalizeAcceptsComposedSchemes: the sweep grid validates
+// scheme names through the registry, so compositions and the adaptive
+// meta-scheme are sweepable, and invalid compositions are rejected at
+// spec time, not deep inside a worker.
+func TestSpecNormalizeAcceptsComposedSchemes(t *testing.T) {
+	s := SweepSpec{Workloads: []string{"vips"}, Schemes: []string{"dcw", "dcw+flipmin", "adaptive+remap"}}
+	if err := s.Normalize(); err != nil {
+		t.Fatalf("composed schemes rejected: %v", err)
+	}
+	bad := SweepSpec{Workloads: []string{"vips"}, Schemes: []string{"fnw+flipmin"}}
+	if err := bad.Normalize(); err == nil {
+		t.Error("invalid composition fnw+flipmin accepted by Normalize")
+	}
+}

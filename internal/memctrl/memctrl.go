@@ -262,6 +262,11 @@ type bank struct {
 	// handed back as soon as the controller has extracted what it needs
 	// (service time, counts), so steady-state planning reuses one buffer.
 	recycler schemes.PlanRecycler
+	// observer is scheme's QueueObserver side, if it has one: it sees
+	// the controller's queue depths right before each PlanWrite, letting
+	// adaptive schemes react to load without touching the request path
+	// for everyone else.
+	observer schemes.QueueObserver
 	// write is the in-flight write (or preset), if any; reads maps a
 	// subarray index to its in-flight read. With Subarrays == 1 the two
 	// are mutually exclusive (monolithic bank); with more, reads may
@@ -295,6 +300,7 @@ func New(eng *sim.Engine, dev *pcm.Device, factory schemes.Factory, cfg Config) 
 	for i := 0; i < par.NumBanks; i++ {
 		b := &bank{scheme: factory(par), reads: make(map[int]*request)}
 		b.recycler, _ = b.scheme.(schemes.PlanRecycler)
+		b.observer, _ = b.scheme.(schemes.QueueObserver)
 		c.banks = append(c.banks, b)
 	}
 	return c
@@ -593,6 +599,9 @@ func (c *Controller) startWrite(b *bank, req *request) {
 	}
 	old := c.oldBuf // synchronous use only: released before the next event
 	c.dev.PeekLine(req.addr, old)
+	if b.observer != nil {
+		b.observer.ObserveQueues(len(c.readQ), len(c.writeQ))
+	}
 	plan := b.scheme.PlanWrite(req.addr, old, req.data)
 	c.guard.CheckWritePlan(c.eng.Now(), req.addr, old, req.data, plan)
 	sets, resets := plan.Counts()

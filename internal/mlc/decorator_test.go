@@ -1,0 +1,153 @@
+package mlc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tetriswrite/internal/mlc"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+)
+
+// TestCellModeRoundTrip checks the decorator's central promise: the
+// pulse train — and therefore the stored image — is exactly the inner
+// scheme's, while the write phase stretches by the slowest cell's P&V
+// staircase. Decode is verified against the encoded-cell oracle on
+// every write.
+func TestCellModeRoundTrip(t *testing.T) {
+	dev := pcm.DefaultParams()
+	inner := schemes.NewDCW(dev)
+	plain := schemes.NewDCW(dev) // reference instance, identical state
+	s, err := mlc.NewCellMode(inner, dev, mlc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "dcw+mlc" {
+		t.Errorf("Name() = %q", s.Name())
+	}
+	arr := schemes.NewArray(dev)
+	logical := make([][]byte, 8)
+	for i := range logical {
+		logical[i] = make([]byte, dev.LineBytes)
+	}
+	for i := 0; i < 200; i++ {
+		li := i % 8
+		addr := pcm.LineAddr(li)
+		old := logical[li]
+		next := make([]byte, dev.LineBytes)
+		copy(next, old)
+		next[(i*7)%dev.LineBytes] ^= byte(1 + i%255)
+		p := s.PlanWrite(addr, old, next)
+		ref := plain.PlanWrite(addr, old, next)
+		if len(p.Pulses) != len(ref.Pulses) {
+			t.Fatalf("write %d: decorated plan has %d pulses, inner %d",
+				i, len(p.Pulses), len(ref.Pulses))
+		}
+		if p.Write < ref.Write {
+			t.Fatalf("write %d: decorated write phase %v shorter than inner %v",
+				i, p.Write, ref.Write)
+		}
+		hasSet := false
+		for _, pl := range p.Pulses {
+			if pl.Kind == schemes.Set {
+				hasSet = true
+			}
+		}
+		if hasSet && p.Write == ref.Write {
+			t.Fatalf("write %d: SET pulses present but no P&V extension billed", i)
+		}
+		if err := arr.CheckWrite(addr, p, next); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		logical[li] = next
+	}
+}
+
+// TestCellModeDeterministic: two instances over the same write stream
+// must bill identical staircases (the per-cell variation is a hash, not
+// randomness), or fleet shards would diverge from local runs.
+func TestCellModeDeterministic(t *testing.T) {
+	dev := pcm.DefaultParams()
+	build := func() schemes.Scheme {
+		s, err := mlc.NewCellMode(schemes.NewDCW(dev), dev, mlc.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := build(), build()
+	old := make([]byte, dev.LineBytes)
+	next := make([]byte, dev.LineBytes)
+	for i := 0; i < 100; i++ {
+		next[i%dev.LineBytes] ^= byte(i*13 + 1)
+		pa := a.PlanWrite(pcm.LineAddr(i%4), old, next)
+		pb := b.PlanWrite(pcm.LineAddr(i%4), old, next)
+		if pa.Write != pb.Write || pa.ServiceTime() != pb.ServiceTime() {
+			t.Fatalf("write %d: divergent bills %v vs %v", i, pa.Write, pb.Write)
+		}
+		copy(old, next)
+	}
+}
+
+// TestCellModeStats checks the StatProvider series and that all-RESET
+// writes (no SET pulses) bill nothing.
+func TestCellModeStats(t *testing.T) {
+	dev := pcm.DefaultParams()
+	s, err := mlc.NewCellMode(schemes.NewDCW(dev), dev, mlc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := func() map[string]float64 {
+		out := map[string]float64{}
+		s.(schemes.StatProvider).SchemeStats(func(n string, v float64) { out[n] = v })
+		return out
+	}
+	for _, want := range []string{"scheme.mlc.pv_pulses", "scheme.mlc.pv_time", "scheme.mlc.pv_writes"} {
+		if _, ok := stats()[want]; !ok {
+			t.Fatalf("series %q missing", want)
+		}
+	}
+	// 0xFF -> 0x00 is pure RESET: no SETs, so no P&V bill.
+	old := bytes.Repeat([]byte{0xFF}, dev.LineBytes)
+	zero := make([]byte, dev.LineBytes)
+	s.PlanWrite(0, old, zero)
+	if got := stats()["scheme.mlc.pv_writes"]; got != 0 {
+		t.Errorf("all-RESET write billed pv_writes = %v", got)
+	}
+	// 0x00 -> 0xFF is pure SET: a bill must appear.
+	s.PlanWrite(0, zero, old)
+	st := stats()
+	if st["scheme.mlc.pv_writes"] != 1 || st["scheme.mlc.pv_pulses"] == 0 || st["scheme.mlc.pv_time"] == 0 {
+		t.Errorf("all-SET write not billed: %v", st)
+	}
+}
+
+// TestIterationsBounds checks the exported per-cell variation hash stays
+// inside [MinIter, MaxIter] and actually varies across cells.
+func TestIterationsBounds(t *testing.T) {
+	par := mlc.DefaultParams()
+	seen := map[int]bool{}
+	for i := int64(0); i < 4096; i++ {
+		for _, lvl := range []mlc.Level{1, 2} {
+			n := par.Iterations(i, lvl)
+			if n < par.MinIter || n > par.MaxIter {
+				t.Fatalf("Iterations(%d, %d) = %d outside [%d, %d]",
+					i, lvl, n, par.MinIter, par.MaxIter)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Error("iteration hash shows no per-cell variation")
+	}
+}
+
+// TestCellModeRejectsBadParams: the constructor validates.
+func TestCellModeRejectsBadParams(t *testing.T) {
+	dev := pcm.DefaultParams()
+	bad := mlc.DefaultParams()
+	bad.MinIter = 0
+	if _, err := mlc.NewCellMode(schemes.NewDCW(dev), dev, bad); err == nil {
+		t.Error("NewCellMode accepted MinIter = 0")
+	}
+}

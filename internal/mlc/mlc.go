@@ -107,15 +107,22 @@ func (a *Array) Read(i int) Level { return a.cells[i] }
 // Stats returns the counters.
 func (a *Array) Stats() Stats { return a.stats }
 
-// iterations returns the deterministic P&V iteration count for driving
-// cell i to an intermediate level.
-func (a *Array) iterations(i int, target Level) int {
-	h := uint64(i)*0x9E3779B97F4A7C15 ^ uint64(target)*0xBF58476D1CE4E5B9 ^ a.par.Seed
+// Iterations returns the deterministic P&V iteration count for driving
+// cell i to an intermediate level: a hash of the cell address, target
+// level and seed standing in for process variation, so simulations
+// replay identically.
+func (p Params) Iterations(i int64, target Level) int {
+	h := uint64(i)*0x9E3779B97F4A7C15 ^ uint64(target)*0xBF58476D1CE4E5B9 ^ p.Seed
 	h ^= h >> 31
 	h *= 0x94D049BB133111EB
 	h ^= h >> 29
-	span := uint64(a.par.MaxIter - a.par.MinIter + 1)
-	return a.par.MinIter + int(h%span)
+	span := uint64(p.MaxIter - p.MinIter + 1)
+	return p.MinIter + int(h%span)
+}
+
+// iterations is the Array-internal view of Iterations.
+func (a *Array) iterations(i int, target Level) int {
+	return a.par.Iterations(int64(i), target)
 }
 
 // Write programs cell i to the target level and returns the time the

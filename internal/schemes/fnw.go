@@ -26,6 +26,9 @@ func NewFlipNWrite(par pcm.Params) Scheme {
 func (s *fnw) Name() string               { return "fnw" }
 func (s *fnw) NeedsReadBeforeWrite() bool { return true }
 
+// FlipTags implements FlipTagReader.
+func (s *fnw) FlipTags(addr pcm.LineAddr) uint64 { return s.flips.word(addr) }
+
 func (s *fnw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	p := basePlan(s.par)
 	p.Pulses = s.TakePulses()

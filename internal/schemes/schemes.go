@@ -268,6 +268,36 @@ type Presetter interface {
 	PlanPreset(addr pcm.LineAddr, old []byte) Plan
 }
 
+// FlipTagReader is implemented by schemes whose per-line coding state is
+// exactly one inversion tag per (chip, data unit), packed into a uint64
+// with bit index u*NumChips+c — the layout shared by flipState and the
+// Tetris scheme. FlipTags returns the line's tag word (zero for a line
+// never written). The adaptive meta-scheme uses it to hand a line over
+// between candidate schemes only when the tags are all clear, so the
+// receiving scheme's (implicitly zero) state still decodes the line.
+type FlipTagReader interface {
+	FlipTags(addr pcm.LineAddr) uint64
+}
+
+// QueueObserver is implemented by schemes that adapt to controller load.
+// The memory controller calls ObserveQueues with the bank's current read
+// and write queue depths immediately before each PlanWrite. The depths
+// are a deterministic function of the simulated request stream, so
+// schemes may fold them into planning decisions without breaking the
+// replay-identical contract.
+type QueueObserver interface {
+	ObserveQueues(reads, writes int)
+}
+
+// StatProvider is implemented by schemes that export internal counters
+// to the telemetry layer. SchemeStats calls emit once per counter with a
+// fully-qualified series name (e.g. "scheme.adaptive.switches") and its
+// current value. Decorators forward their inner scheme's stats and add
+// their own; the controller sums the emissions across banks.
+type StatProvider interface {
+	SchemeStats(emit func(name string, value float64))
+}
+
 // PowerBudget derives the bank's power constraint from the device
 // parameters.
 func PowerBudget(par pcm.Params) power.Budget {

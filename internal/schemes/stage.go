@@ -27,6 +27,9 @@ func NewTwoStage(par pcm.Params) Scheme {
 func (s *twoStage) Name() string               { return "twostage" }
 func (s *twoStage) NeedsReadBeforeWrite() bool { return false }
 
+// FlipTags implements FlipTagReader.
+func (s *twoStage) FlipTags(addr pcm.LineAddr) uint64 { return s.flips.word(addr) }
+
 func (s *twoStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	p := basePlan(s.par)
 	p.Pulses = s.TakePulses()
@@ -85,6 +88,9 @@ func NewThreeStage(par pcm.Params) Scheme {
 
 func (s *threeStage) Name() string               { return "threestage" }
 func (s *threeStage) NeedsReadBeforeWrite() bool { return true }
+
+// FlipTags implements FlipTagReader.
+func (s *threeStage) FlipTags(addr pcm.LineAddr) uint64 { return s.flips.word(addr) }
 
 func (s *threeStage) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	p := basePlan(s.par)

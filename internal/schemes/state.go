@@ -38,6 +38,15 @@ func (f *flipState) set(addr pcm.LineAddr, c, u int, v bool) {
 	}
 }
 
+// word returns the line's whole tag word (zero when never written) —
+// the FlipTagReader view of the state.
+func (f *flipState) word(addr pcm.LineAddr) uint64 {
+	if w := f.m.Get(int64(addr)); w != nil {
+		return w[0]
+	}
+	return 0
+}
+
 // encoded returns the stored (array) bits for a chip slice given its
 // logical value: the complement (within the chip width) when the flip
 // tag is set.

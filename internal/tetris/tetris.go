@@ -80,6 +80,15 @@ func NewWithOptions(par pcm.Params, opt Options) schemes.Scheme {
 }
 
 func (s *scheme) Name() string               { return "tetris" }
+
+// FlipTags implements schemes.FlipTagReader: the line's inversion tags,
+// bit u*NumChips+c, zero when the line was never written.
+func (s *scheme) FlipTags(addr pcm.LineAddr) uint64 {
+	if w := s.flips.Get(int64(addr)); w != nil {
+		return w[0]
+	}
+	return 0
+}
 func (s *scheme) NeedsReadBeforeWrite() bool { return true }
 
 func (s *scheme) flipBit(c, u int) uint64 { return 1 << uint(u*s.par.NumChips+c) }

@@ -24,10 +24,10 @@ package tetriswrite
 
 import (
 	"fmt"
-	"sort"
 
 	"tetriswrite/internal/exp"
 	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/registry"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/system"
 	"tetriswrite/internal/tetris"
@@ -70,41 +70,29 @@ func DefaultParams() Params { return pcm.DefaultParams() }
 // NewDevice creates a PCM device.
 func NewDevice(p Params) (*Device, error) { return pcm.NewDevice(p) }
 
-// schemeFactories maps public scheme names (with the paper's aliases) to
-// factories.
-var schemeFactories = map[string]schemes.Factory{
-	"conventional": schemes.NewConventional,
-	"dcw":          schemes.NewDCW,
-	"baseline":     schemes.NewDCW,
-	"fnw":          schemes.NewFlipNWrite,
-	"flip-n-write": schemes.NewFlipNWrite,
-	"twostage":     schemes.NewTwoStage,
-	"2stage":       schemes.NewTwoStage,
-	"threestage":   schemes.NewThreeStage,
-	"3stage":       schemes.NewThreeStage,
-	"tetris":       tetris.New,
-}
+// SchemeNames returns the canonical base scheme names accepted by
+// NewScheme, sorted. Aliases ("baseline", "2stage") and composed names
+// ("dcw+flipmin", "tetris+remap") also resolve; see internal/registry
+// for the composition grammar.
+func SchemeNames() []string { return registry.Default().Bases() }
 
-// SchemeNames returns the canonical scheme names accepted by NewScheme,
-// sorted.
-func SchemeNames() []string {
-	out := []string{"conventional", "dcw", "fnw", "twostage", "threestage", "tetris"}
-	sort.Strings(out)
-	return out
-}
+// SchemeDecorators returns the decorator names composable onto any base
+// scheme with '+', sorted.
+func SchemeDecorators() []string { return registry.Default().Decorators() }
 
-// NewScheme builds a write scheme by name. Accepted names (and aliases):
-// conventional, dcw (baseline), fnw (flip-n-write), twostage (2stage),
-// threestage (3stage), tetris.
+// NewScheme builds a write scheme by name: a canonical base name, an
+// alias (baseline, flip-n-write, 2stage, 3stage) or a '+'-composed name
+// such as "dcw+flipmin+remap". Unknown names fail with the sorted
+// catalogue.
 func NewScheme(name string, par Params) (Scheme, error) {
-	f, ok := schemeFactories[name]
-	if !ok {
-		return nil, fmt.Errorf("tetriswrite: unknown scheme %q (have %v)", name, SchemeNames())
+	e, err := registry.Default().Resolve(name)
+	if err != nil {
+		return nil, fmt.Errorf("tetriswrite: %w", err)
 	}
 	if err := par.Validate(); err != nil {
 		return nil, err
 	}
-	return f(par), nil
+	return e.Factory(par), nil
 }
 
 // NewTetris builds the Tetris Write scheme with explicit options, for
@@ -132,10 +120,11 @@ func RunSystem(workloadName, schemeName string, cfg SystemConfig) (SystemResult,
 	if err != nil {
 		return SystemResult{}, err
 	}
-	f, ok := schemeFactories[schemeName]
-	if !ok {
-		return SystemResult{}, fmt.Errorf("tetriswrite: unknown scheme %q", schemeName)
+	e, err := registry.Default().Resolve(schemeName)
+	if err != nil {
+		return SystemResult{}, fmt.Errorf("tetriswrite: %w", err)
 	}
+	f := e.Factory
 	if cfg.Params.LineBytes == 0 {
 		cfg.Params = DefaultParams()
 	}
