@@ -17,7 +17,7 @@ COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 DATE ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 LDFLAGS = -X tetriswrite/internal/version.Commit=$(COMMIT) -X tetriswrite/internal/version.Date=$(DATE)
 
-.PHONY: build test race fuzz-smoke bench bench-baseline bench-gate fleet-smoke
+.PHONY: build test race fuzz-smoke bench bench-baseline bench-gate fleet-smoke crash-smoke
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -65,6 +65,15 @@ bench-baseline:
 # the two checks: any increase fails).
 bench-gate: bench
 	$(GO) run ./cmd/benchgate -old results/bench_baseline.txt -new bench_new.txt $(BENCHGATE_FLAGS)
+
+# Crash-consistency smoke: the seeded power-failure sweep under the race
+# detector (every cut recovered, resumed and diffed against the
+# crash-free oracle inside the test), then a slightly larger sweep via
+# the CLI whose per-scheme classification table lands in
+# crash_table.txt — the artifact CI uploads.
+crash-smoke: bin
+	$(GO) test -race -run TestCrashSweepContract ./internal/exp
+	bin/tetrisbench -crash-every 64 -crash-cuts 4 -writes 80 | tee crash_table.txt
 
 # End-to-end sweep-service smoke: broker + two workers on loopback, one
 # worker SIGKILLed mid-sweep, final table diffed against a serial

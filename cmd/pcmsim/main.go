@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"syscall"
 
+	"tetriswrite/internal/crash"
 	"tetriswrite/internal/fault"
 	"tetriswrite/internal/guard"
 	"tetriswrite/internal/memctrl"
@@ -76,6 +78,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		verifyN    = fs.Int("verify-retries", 0, "re-pulse budget before a failed write escalates to a hard error (default 3)")
 		spareLines = fs.Int("spare", 0, "lines reserved as spares for hard-error remapping (default 64 when faults are on)")
 
+		crashAt = fs.Int64("crash-at", 0, "cut power at the Nth pulse boundary, run crash recovery on the surviving image, and print the recovery report")
+
 		runTO      = fs.Duration("run-timeout", 0, "wall-clock limit for the simulation, e.g. 5m (0 = none)")
 		maxEvents  = fs.Uint64("max-events", 0, "abort after this many simulation events (0 = unlimited)")
 		maxSimStr  = fs.String("max-simtime", "", "abort past this much simulated time, e.g. 100us (empty = unlimited)")
@@ -113,6 +117,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-verify-retries %d: retry budget cannot be negative", *verifyN)
 	case *spareLines < 0:
 		return fmt.Errorf("-spare %d: spare line count cannot be negative", *spareLines)
+	case *crashAt < 0:
+		return fmt.Errorf("-crash-at %d: pulse boundary must be positive", *crashAt)
 	}
 
 	if *deepChecks && !*guardOn {
@@ -198,6 +204,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		InstrBudget: *instr,
 		Seed:        *seed,
 		Ctrl:        ctrlCfg,
+		Crash:       crash.Config{AtPulse: *crashAt},
 		Fault:       fcfg,
 		SpareLines:  *spareLines,
 		UseCaches:   *useCaches,
@@ -220,6 +227,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		res, err = system.RunCtx(ctx, prof, factory, sysCfg)
 	}
 	if err != nil {
+		var ce *crash.CutError
+		if errors.As(err, &ce) {
+			return recoverAndReport(stdout, ce.Image)
+		}
 		return err
 	}
 	if *metricsOut != "" {
@@ -233,6 +244,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return printJSON(stdout, res, par)
 	}
 	printResult(stdout, res, par)
+	return nil
+}
+
+// recoverAndReport runs the recovery pass over a power-cut image and
+// prints the crash report: the cut context, the crash.* recovery
+// counters, and the per-intent classification.
+func recoverAndReport(w io.Writer, img *crash.Image) error {
+	fmt.Fprintf(w, "power cut      %v (%d pulses issued, %d writes completed)\n",
+		img.CutAt, img.PulsesIssued, img.WritesCompleted)
+	fmt.Fprintf(w, "intents armed  %d\n", len(img.Intents))
+	rep, err := system.Recover(img)
+	if err != nil {
+		return err
+	}
+	rep.Stats(func(name string, v float64) {
+		fmt.Fprintf(w, "%-24s %.0f\n", name, v)
+	})
+	for _, l := range rep.Lines {
+		fmt.Fprintf(w, "  line %-8d seq %-4d %-12s pulses %d/%d tagfix=%v\n",
+			l.Addr, l.Seq, l.Verdict, l.PulsesDone, l.PulsesTotal, l.TagRepaired)
+	}
+	fmt.Fprintln(w, "recovery complete: every intent line holds its intended data")
 	return nil
 }
 

@@ -77,6 +77,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		mlcCmp = fs.Bool("mlc", false, "print the SLC-vs-MLC write-time comparison (background section)")
 		line   = fs.Int("line", 0, "cache line size in bytes (default 64; 128/256 model POWER7/zEnterprise)")
 
+		crashEvery = fs.Int64("crash-every", 0, "run the crash-consistency sweep: cut power at every Kth pulse boundary of every (workload, scheme) cell, recover, resume, and print the recovery classification table")
+		crashCuts  = fs.Int("crash-cuts", 0, "cap on cut points per cell of the crash sweep, subsampled evenly (0 = 8)")
+
 		epochStr  = fs.String("epoch", "", "attach epoch telemetry to the full-system figures and print the per-scheme summary, e.g. 10us")
 		benchJSON = fs.Bool("bench-json", false, "write a BENCH_<date>.json perf-trajectory artifact and exit")
 		benchDir  = fs.String("bench-dir", ".", "directory for the -bench-json artifact")
@@ -155,6 +158,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "all %d reproduction checks passed\n", len(results))
 		return nil
+	}
+
+	if *crashEvery > 0 {
+		copt := exp.CrashSweepOptions{Options: opt, Every: *crashEvery, MaxCuts: *crashCuts}
+		res, err := exp.CrashSweep(copt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res.Table())
+		return nil
+	}
+	if *crashCuts != 0 {
+		return fmt.Errorf("-crash-cuts needs -crash-every")
 	}
 
 	if *benchJSON {

@@ -1,0 +1,147 @@
+package crash
+
+import (
+	"bytes"
+	"fmt"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/units"
+)
+
+// LineReport is the recovery record of one armed intent.
+type LineReport struct {
+	Seq         int64
+	Addr        pcm.LineAddr
+	Verdict     schemes.TornVerdict
+	PulsesDone  int
+	PulsesTotal int
+	TagRepaired bool // scheme tags were re-anchored to the physical flip cells
+}
+
+// Report aggregates one recovery pass. RecoveryTime is the modeled bank
+// time the pass costs: a TRead scan per armed intent, plus the repair
+// write — the write phase (and analysis) for a rollforward, the full
+// service time for a reissue.
+type Report struct {
+	Intents        int
+	Clean          int
+	Rollforwards   int
+	Reissues       int
+	TagRepairs     int
+	RecoverySets   int64
+	RecoveryResets int64
+	RecoveryTime   units.Duration
+	Lines          []LineReport
+}
+
+// Stats emits the crash.* recovery telemetry series.
+func (r *Report) Stats(emit func(name string, value float64)) {
+	emit("crash.recovered_intents", float64(r.Intents))
+	emit("crash.clean_lines", float64(r.Clean))
+	emit("crash.rollforwards", float64(r.Rollforwards))
+	emit("crash.reissues", float64(r.Reissues))
+	emit("crash.tag_repairs", float64(r.TagRepairs))
+	emit("crash.recovery_sets", float64(r.RecoverySets))
+	emit("crash.recovery_resets", float64(r.RecoveryResets))
+	emit("crash.recovery_time", float64(r.RecoveryTime))
+}
+
+// Recover replays the intent log against the surviving image: every
+// armed intent's line is read back, its torn state classified by the
+// owning scheme, its coding state re-anchored to the physical flip
+// cells, and — unless already clean — replanned from its decoded
+// contents to the intended data and repaired on the device. After the
+// pass every intent line decodes to its Want bytes on both the shadow
+// and the device, or an error names the line that does not.
+//
+// Classification runs before tag restoration on purpose: the verdict is
+// precisely the comparison between the scheme's in-memory coding state
+// (advanced at PlanWrite time) and what physically survived.
+func Recover(img *Image) (*Report, error) {
+	rep := &Report{Intents: len(img.Intents)}
+	for _, in := range img.Intents {
+		sch := img.Schemes[int(in.Addr)%len(img.Schemes)]
+		dec := img.Shadow.Logical(in.Addr)
+		phys := img.Shadow.FlipTags(in.Addr)
+
+		verdict := schemes.TornClean
+		if !bytes.Equal(dec, in.Want) {
+			// The always-safe verdict; a classifier may upgrade it to the
+			// cheap one when the coding state is still coherent.
+			verdict = schemes.TornReissue
+			if cl, ok := sch.(schemes.TornStateClassifier); ok {
+				st := schemes.TornState{Addr: in.Addr, Old: in.Old, Want: in.Want, Decoded: dec, Tags: phys}
+				if cl.ClassifyTorn(st) == schemes.TornRollforward {
+					verdict = schemes.TornRollforward
+				}
+			}
+		}
+
+		// Re-anchor the scheme's tags to the array — even a clean line
+		// can carry diverged in-memory tags (e.g. a planned inversion
+		// whose pulses were all lost on a unit whose data was unchanged).
+		repaired := false
+		if r, ok := sch.(schemes.TagRestorer); ok {
+			if fr, hasMem := sch.(schemes.FlipTagReader); !hasMem || fr.FlipTags(in.Addr) != phys {
+				repaired = true
+			}
+			r.RestoreFlipTags(in.Addr, phys)
+		}
+		if repaired {
+			rep.TagRepairs++
+		}
+
+		rep.RecoveryTime += img.Params.TRead // the scan read of this line
+		if verdict != schemes.TornClean {
+			plan := sch.PlanWrite(in.Addr, dec, in.Want)
+			sets, resets := plan.Counts()
+			rep.RecoverySets += int64(sets)
+			rep.RecoveryResets += int64(resets)
+			if verdict == schemes.TornRollforward {
+				rep.RecoveryTime += plan.Analysis + plan.Write
+			} else {
+				rep.RecoveryTime += plan.ServiceTime()
+			}
+			// CheckWrite is the full oracle: structural validity, power
+			// budget, and decoded contents after replay.
+			if err := img.Shadow.CheckWrite(in.Addr, plan, in.Want); err != nil {
+				return nil, fmt.Errorf("crash: recovery replan of line %d (seq %d, %s) under %s: %w",
+					in.Addr, in.Seq, verdict, sch.Name(), err)
+			}
+			if rec, ok := sch.(schemes.PlanRecycler); ok {
+				rec.RecyclePlan(plan)
+			}
+			img.Dev.Preload(in.Addr, in.Want)
+		}
+
+		switch verdict {
+		case schemes.TornClean:
+			rep.Clean++
+		case schemes.TornRollforward:
+			rep.Rollforwards++
+		default:
+			rep.Reissues++
+		}
+		rep.Lines = append(rep.Lines, LineReport{
+			Seq: in.Seq, Addr: in.Addr, Verdict: verdict,
+			PulsesDone: in.PulsesDone, PulsesTotal: in.PulsesTotal,
+			TagRepaired: repaired,
+		})
+	}
+
+	// Deep validation, guard style: every intent line must now hold its
+	// intended data on the device, and the device must agree with the
+	// shadow's decode.
+	buf := make([]byte, img.Params.LineBytes)
+	for _, in := range img.Intents {
+		img.Dev.PeekLine(in.Addr, buf)
+		if !bytes.Equal(buf, in.Want) {
+			return nil, fmt.Errorf("crash: after recovery, device line %d (seq %d) does not hold the intended data", in.Addr, in.Seq)
+		}
+		if got := img.Shadow.Logical(in.Addr); !bytes.Equal(got, buf) {
+			return nil, fmt.Errorf("crash: after recovery, shadow decode of line %d diverges from the device", in.Addr)
+		}
+	}
+	return rep, nil
+}

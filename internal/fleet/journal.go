@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
@@ -37,6 +38,40 @@ type Record struct {
 	Shard   int          `json:"shard,omitempty"`
 	Attempt int          `json:"attempt,omitempty"`
 	Result  *ShardResult `json:"result,omitempty"`
+
+	// CRC is the IEEE CRC32 of the record serialized with CRC zero,
+	// stamped by Append and verified on replay. 0 means unchecked — the
+	// pre-checksum journal format, still accepted. A record whose stored
+	// checksum does not match is corruption: fatal mid-file, tolerated as
+	// a torn append only on the final line.
+	CRC uint32 `json:"crc,omitempty"`
+}
+
+// Checksum returns the IEEE CRC32 an intact record must carry: the
+// checksum of the record serialized with the CRC field zeroed.
+func (r Record) Checksum() (uint32, error) {
+	r.CRC = 0
+	b, err := json.Marshal(r)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(b), nil
+}
+
+// verifyCRC checks a replayed record's stored checksum. Records without
+// one (CRC 0) predate the checksummed format and pass unverified.
+func verifyCRC(rec Record) error {
+	if rec.CRC == 0 {
+		return nil
+	}
+	want, err := rec.Checksum()
+	if err != nil {
+		return err
+	}
+	if rec.CRC != want {
+		return fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", rec.CRC, want)
+	}
+	return nil
 }
 
 // Journal appends records durably: every Append is written and synced
@@ -88,28 +123,34 @@ func tailOffset(recs []Record, f *os.File) int64 {
 	return off
 }
 
-// readRecords parses every complete record; a single malformed final
-// line is treated as a torn append and dropped.
+// readRecords parses and checksum-verifies every complete record; a
+// single malformed or checksum-failing final line is treated as a torn
+// append and dropped, but a corrupt record with anything after it is
+// fatal, reported with its 1-based record number.
 func readRecords(r io.Reader) ([]Record, error) {
 	var recs []Record
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	line := 0
-	var torn bool
+	n := 0 // 1-based count of non-empty lines
+	var torn error
 	for sc.Scan() {
-		line++
-		if torn {
-			return nil, fmt.Errorf("line %d: record follows malformed line %d", line, line-1)
-		}
 		b := sc.Bytes()
 		if len(b) == 0 {
 			continue
+		}
+		n++
+		if torn != nil {
+			return nil, fmt.Errorf("record %d follows corrupt record: %w", n, torn)
 		}
 		var rec Record
 		if err := json.Unmarshal(b, &rec); err != nil {
 			// Possibly the torn final append; only acceptable if
 			// nothing follows.
-			torn = true
+			torn = fmt.Errorf("record %d: %w", n, err)
+			continue
+		}
+		if err := verifyCRC(rec); err != nil {
+			torn = fmt.Errorf("record %d: %w", n, err)
 			continue
 		}
 		recs = append(recs, rec)
@@ -120,12 +161,17 @@ func readRecords(r io.Reader) ([]Record, error) {
 	return recs, nil
 }
 
-// Append writes one record and syncs it to stable storage.
+// Append stamps the record's checksum, writes it and syncs it to
+// stable storage.
 func (j *Journal) Append(rec Record) error {
 	if j == nil {
 		return nil
 	}
 	rec.V = 1
+	var err error
+	if rec.CRC, err = rec.Checksum(); err != nil {
+		return err
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return err

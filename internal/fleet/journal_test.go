@@ -3,6 +3,7 @@ package fleet
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tetriswrite/internal/system"
@@ -92,6 +93,116 @@ func TestJournalCorruptionMidFile(t *testing.T) {
 	}
 	if _, _, err := OpenJournal(path); err == nil {
 		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+// writeThree appends three checksummed records and returns the path.
+func writeThree(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Record{
+		{Type: "job", Job: "j0000"},
+		{Type: "shard", Job: "j0000", Shard: 1, Attempt: 1},
+		{Type: "done", Job: "j0000", State: "completed"},
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	return path
+}
+
+// TestJournalChecksumStamped: Append stamps a CRC that survives the
+// round trip and verifies.
+func TestJournalChecksumStamped(t *testing.T) {
+	path := writeThree(t)
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.CRC == 0 {
+			t.Errorf("record %d replayed without a checksum", i+1)
+		}
+	}
+}
+
+// TestJournalChecksumCorruptionMidFile: bit-rot inside a mid-file
+// record — still valid JSON, wrong payload — must fail replay and name
+// the record.
+func TestJournalChecksumCorruptionMidFile(t *testing.T) {
+	path := writeThree(t)
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the shard number of record 2: JSON stays well-formed, the
+	// stored checksum no longer matches.
+	tampered := strings.Replace(string(body), `"shard":1`, `"shard":7`, 1)
+	if tampered == string(body) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenJournal(path)
+	if err == nil {
+		t.Fatal("checksum corruption mid-file accepted")
+	}
+	if !strings.Contains(err.Error(), "record 2") || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("error does not name the corrupt record: %v", err)
+	}
+}
+
+// TestJournalChecksumCorruptFinalLine: the same bit-rot on the final
+// record is indistinguishable from a torn append and is dropped.
+func TestJournalChecksumCorruptFinalLine(t *testing.T) {
+	path := writeThree(t)
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(body), `"state":"completed"`, `"state":"collapsed"`, 1)
+	if tampered == string(body) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("corrupt final line rejected: %v", err)
+	}
+	defer j.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (corrupt tail dropped)", len(recs))
+	}
+}
+
+// TestJournalLegacyRecordsAccepted: records without a crc field (the
+// pre-checksum format) replay unverified.
+func TestJournalLegacyRecordsAccepted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	body := `{"v":1,"type":"job","job":"j0000"}` + "\n" + `{"v":1,"type":"done","job":"j0000","state":"completed"}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("legacy journal rejected: %v", err)
+	}
+	defer j.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d legacy records, want 2", len(recs))
 	}
 }
 

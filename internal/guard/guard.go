@@ -122,6 +122,17 @@ func New(par pcm.Params, cfg Config) *Guard {
 	return g
 }
 
+// AdoptShadow replaces the deep-check oracle with an existing encoded
+// cell array. A run resumed after crash recovery must validate against
+// the recovered shadow: its schemes carry flip-tag history that a fresh
+// all-zero shadow would contradict on the first write to a recovered
+// line. No-op unless DeepChecks is on.
+func (g *Guard) AdoptShadow(arr *schemes.Array) {
+	if g.cfg.DeepChecks && arr != nil {
+		g.shadow = arr
+	}
+}
+
 // SetFingerprint records the run identity stamped into violations.
 func (g *Guard) SetFingerprint(seed int64, workload, scheme string) {
 	g.fp.Seed, g.fp.Workload, g.fp.Scheme = seed, workload, scheme

@@ -1,0 +1,41 @@
+package memctrl
+
+import (
+	"testing"
+
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/units"
+)
+
+// stubHook satisfies CrashHook without doing anything; SetCrash only
+// inspects the controller's own config, never the hook.
+type stubHook struct{}
+
+func (stubHook) WriteStarted(pcm.LineAddr, []byte, []byte, schemes.Plan, units.Time) {}
+func (stubHook) WriteCompleted(pcm.LineAddr) bool                                    { return true }
+
+// SetCrash must reject configurations that move pulse boundaries after
+// issue (pausing, cancellation) or write lines without arming an intent
+// (idle PreSET): either would break the hook's frozen schedule view.
+func TestSetCrashRejectsIncompatibleConfigs(t *testing.T) {
+	mk := func(cfg Config) *Controller {
+		eng := &sim.Engine{}
+		dev := pcm.MustNewDevice(pcm.DefaultParams())
+		return New(eng, dev, schemes.NewDCW, cfg)
+	}
+
+	if err := mk(Config{OpportunisticWrites: true}).SetCrash(stubHook{}); err != nil {
+		t.Errorf("plain config rejected: %v", err)
+	}
+	for name, cfg := range map[string]Config{
+		"pausing":      {WritePausing: true},
+		"cancellation": {WritePausing: true, WriteCancellation: true},
+		"idle-preset":  {IdlePreset: true},
+	} {
+		if err := mk(cfg).SetCrash(stubHook{}); err == nil {
+			t.Errorf("%s config accepted a crash hook", name)
+		}
+	}
+}

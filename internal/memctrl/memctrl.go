@@ -222,6 +222,19 @@ type Controller struct {
 	// line; without a handler hard errors are only counted.
 	onHardError func(addr pcm.LineAddr, want []byte)
 
+	// crash, when attached, observes every write's issue and completion
+	// boundaries for the power-failure substrate. A nil hook costs one
+	// branch per write and changes nothing.
+	crash CrashHook
+
+	// fp labels this run for attributable errors (verify exhaustion,
+	// crash-recovery reissue failures); zero value when never set.
+	fp guard.Fingerprint
+
+	// verifyErrs retains the first few typed verify-exhaustion errors
+	// (the counter c.stats.HardErrors keeps the full tally).
+	verifyErrs []*VerifyExhaustedError
+
 	// Per-write bookkeeping freelists and scratch. The controller runs
 	// on the single engine goroutine, so plain slices beat sync.Pool:
 	// deterministic, no locks, no per-P caches. reqFree recycles request
@@ -247,6 +260,59 @@ func (c *Controller) SetGuard(g *guard.Guard) { c.guard = g }
 func (c *Controller) guardQueues() {
 	c.guard.CheckQueues(c.eng.Now(), len(c.readQ), len(c.writeQ), c.cfg.ReadQueue, c.cfg.WriteQueue)
 }
+
+// CrashHook observes the two durability boundaries of every line write
+// the controller issues. WriteStarted runs at issue time, after the
+// plan is validated and before its pulse buffer is recycled — old, want
+// and plan.Pulses are only valid for the duration of the call and must
+// be copied if retained. WriteCompleted runs at the completion
+// boundary, before the acknowledgement; returning false means power was
+// lost at that exact boundary — the controller releases the bank but
+// the acknowledgement never fires. crash.Injector is the one
+// implementation.
+type CrashHook interface {
+	WriteStarted(addr pcm.LineAddr, old, want []byte, plan schemes.Plan, now units.Time)
+	WriteCompleted(addr pcm.LineAddr) bool
+}
+
+// SetCrash attaches the power-failure hook. Pulse-time-shifting and
+// request-path-bypassing features are rejected: write pausing and
+// cancellation move pulse boundaries after issue, and idle PreSET
+// writes lines without arming an intent — both would break the hook's
+// frozen view of the schedule.
+func (c *Controller) SetCrash(h CrashHook) error {
+	if c.cfg.WritePausing || c.cfg.WriteCancellation {
+		return fmt.Errorf("memctrl: crash injection is incompatible with write pausing/cancellation")
+	}
+	if c.cfg.IdlePreset {
+		return fmt.Errorf("memctrl: crash injection is incompatible with idle PreSET")
+	}
+	c.crash = h
+	return nil
+}
+
+// SetFingerprint labels the run for attributable typed errors.
+func (c *Controller) SetFingerprint(fp guard.Fingerprint) { c.fp = fp }
+
+// VerifyExhaustedError identifies one write the program-and-verify loop
+// gave up on, carrying the guard-style run fingerprint so a hard error
+// inside a sweep — or a crash-recovery reissue that never converged —
+// is attributable to an exact (seed, workload, scheme, cycle, line).
+type VerifyExhaustedError struct {
+	Fp         guard.Fingerprint
+	Addr       pcm.LineAddr
+	Attempts   int // verify rounds performed, including the first
+	Mismatched int // cells still wrong after the last retry
+}
+
+func (e *VerifyExhaustedError) Error() string {
+	return fmt.Sprintf("memctrl: verify exhausted after %d attempts on line %d (%d cells still wrong) [%s]",
+		e.Attempts, e.Addr, e.Mismatched, e.Fp)
+}
+
+// VerifyErrors returns the retained typed verify-exhaustion errors (at
+// most a handful; Stats().HardErrors has the full count).
+func (c *Controller) VerifyErrors() []*VerifyExhaustedError { return c.verifyErrs }
 
 // SetHardErrorHandler registers the escalation callback of the verify
 // loop. The handler runs in the engine goroutine, before the failed
@@ -295,15 +361,43 @@ func (b *bank) idle() bool { return b.write == nil && len(b.reads) == 0 }
 // bank.
 func New(eng *sim.Engine, dev *pcm.Device, factory schemes.Factory, cfg Config) *Controller {
 	par := dev.Params()
+	insts := make([]schemes.Scheme, par.NumBanks)
+	for i := range insts {
+		insts[i] = factory(par)
+	}
+	return NewWithSchemes(eng, dev, insts, cfg)
+}
+
+// NewWithSchemes builds a controller over pre-built per-bank scheme
+// instances (one per bank, index = bank). Crash recovery resumes a run
+// this way: the recovered scheme instances carry the coding state that
+// matches the surviving device image, so a fresh factory would decode
+// the array wrong.
+func NewWithSchemes(eng *sim.Engine, dev *pcm.Device, insts []schemes.Scheme, cfg Config) *Controller {
+	par := dev.Params()
+	if len(insts) != par.NumBanks {
+		panic(fmt.Sprintf("memctrl: %d scheme instances for %d banks", len(insts), par.NumBanks))
+	}
 	cfg.Normalize(par)
 	c := &Controller{eng: eng, par: par, cfg: cfg, dev: dev}
-	for i := 0; i < par.NumBanks; i++ {
-		b := &bank{scheme: factory(par), reads: make(map[int]*request)}
+	for _, s := range insts {
+		b := &bank{scheme: s, reads: make(map[int]*request)}
 		b.recycler, _ = b.scheme.(schemes.PlanRecycler)
 		b.observer, _ = b.scheme.(schemes.QueueObserver)
 		c.banks = append(c.banks, b)
 	}
 	return c
+}
+
+// Schemes returns the per-bank scheme instances (index = bank). The
+// crash injector binds to them, and recovery hands them to a resumed
+// controller via NewWithSchemes.
+func (c *Controller) Schemes() []schemes.Scheme {
+	out := make([]schemes.Scheme, len(c.banks))
+	for i, b := range c.banks {
+		out[i] = b.scheme
+	}
+	return out
 }
 
 // newRequest takes a request struct from the freelist (or the heap).
@@ -615,6 +709,11 @@ func (c *Controller) startWrite(b *bank, req *request) {
 	b.busyTime += svc
 	b.writeStart = c.eng.Now()
 	b.writeEnd = c.eng.Now().Add(svc)
+	if c.crash != nil {
+		// Arm the write's intent while the plan is still alive: the hook
+		// copies whatever it keeps, the recycler below reuses the buffer.
+		c.crash.WriteStarted(req.addr, old, req.data, plan, c.eng.Now())
+	}
 	// Everything the controller needs from the plan is extracted: hand
 	// the pulse buffer back to the scheme for the next write.
 	if b.recycler != nil {
@@ -650,6 +749,12 @@ func (c *Controller) completeWrite(b *bank, req *request, at units.Time) {
 	b.write = nil
 	b.verifying = false
 	b.gen++ // invalidate any in-flight pause boundary events
+	if c.crash != nil && !c.crash.WriteCompleted(req.addr) {
+		// Power was lost at this exact boundary: the write is durable
+		// but its acknowledgement never happens. The stopping engine
+		// unwinds the rest.
+		return
+	}
 	c.finish(req, at)
 }
 
@@ -683,6 +788,13 @@ func (c *Controller) startVerify(b *bank, req *request, attempt int) {
 		}
 		if attempt >= c.cfg.VerifyRetries {
 			c.stats.HardErrors++
+			if len(c.verifyErrs) < 16 {
+				fp := c.fp
+				fp.Cycle = done
+				c.verifyErrs = append(c.verifyErrs, &VerifyExhaustedError{
+					Fp: fp, Addr: req.addr, Attempts: attempt + 1, Mismatched: sets + resets,
+				})
+			}
 			// Escalate before completing: the sparing layer installs its
 			// redirect first, so anything the completion callback submits
 			// already sees the remapped line.

@@ -2,9 +2,11 @@ package memctrl
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"tetriswrite/internal/fault"
+	"tetriswrite/internal/guard"
 	"tetriswrite/internal/pcm"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/sim"
@@ -158,6 +160,62 @@ func TestStuckCellEscalatesToSpareRemap(t *testing.T) {
 	dev.PeekLine(addr, raw)
 	if !bytes.Equal(raw, fullLine(0xFF)) {
 		t.Errorf("dead line image = %x, want stuck all-FF", raw[:4])
+	}
+}
+
+// A verify-exhausted write surfaces as a typed error carrying the run
+// fingerprint, so a hard error deep inside a sweep names the exact
+// (seed, workload, scheme, cycle, line) that reproduces it.
+func TestVerifyExhaustedErrorCarriesFingerprint(t *testing.T) {
+	eng := &sim.Engine{}
+	par := pcm.DefaultParams()
+	dev := pcm.MustNewDevice(par)
+	inj := fault.MustNew(fault.Config{Seed: 1, Endurance: 1}) // every cell dies on its 2nd pulse
+	dev.AttachFaults(inj)
+	c := New(eng, dev, schemes.NewDCW, Config{
+		VerifyWrites: true, VerifyRetries: 2, OpportunisticWrites: true,
+	})
+	c.SetFingerprint(guard.Fingerprint{Seed: 42, Workload: "gups", Scheme: "dcw"})
+	c.SetHardErrorHandler(func(pcm.LineAddr, []byte) {})
+
+	addr := pcm.LineAddr(8)
+	eng.At(0, func() {
+		c.SubmitWrite(addr, fullLine(0xFF), func(units.Time) {
+			// Second write exceeds every cell's endurance of 1: the line
+			// sticks at all-FF and the verify loop must give up.
+			c.SubmitWrite(addr, fullLine(0x00), func(units.Time) {})
+		})
+	})
+	eng.Run()
+
+	errs := c.VerifyErrors()
+	if len(errs) != 1 {
+		t.Fatalf("VerifyErrors returned %d errors, want 1", len(errs))
+	}
+	e := errs[0]
+	if e.Addr != addr {
+		t.Errorf("Addr = %d, want %d", e.Addr, addr)
+	}
+	if e.Attempts != 3 { // first verify + 2 budgeted retries
+		t.Errorf("Attempts = %d, want 3", e.Attempts)
+	}
+	if e.Mismatched == 0 {
+		t.Error("Mismatched = 0, want the stuck cell count")
+	}
+	if e.Fp.Seed != 42 || e.Fp.Workload != "gups" || e.Fp.Scheme != "dcw" {
+		t.Errorf("fingerprint %+v lost the SetFingerprint labels", e.Fp)
+	}
+	if e.Fp.Cycle == 0 {
+		t.Error("fingerprint cycle not stamped with the failure instant")
+	}
+	for _, want := range []string{"verify exhausted", "after 3 attempts", "line 8", "seed=42", "workload=gups", "scheme=dcw"} {
+		if !strings.Contains(e.Error(), want) {
+			t.Errorf("error %q does not mention %q", e.Error(), want)
+		}
+	}
+	// The typed error is bookkeeping on top of the counter, not instead.
+	if st := c.Stats(); st.HardErrors != 1 {
+		t.Errorf("HardErrors = %d, want 1", st.HardErrors)
 	}
 }
 

@@ -56,6 +56,24 @@ func (s *cellMode) FlipTags(addr pcm.LineAddr) uint64 {
 	return s.tags.FlipTags(addr)
 }
 
+// ClassifyTorn forwards to the inner scheme: the decorator never alters
+// the pulse train, so the torn-state question belongs to whoever coded
+// the cells.
+func (s *cellMode) ClassifyTorn(st schemes.TornState) schemes.TornVerdict {
+	if cl, ok := s.inner.(schemes.TornStateClassifier); ok {
+		return cl.ClassifyTorn(st)
+	}
+	return schemes.TornReissue
+}
+
+// RestoreFlipTags forwards crash-recovery tag restoration to the inner
+// scheme's coding state.
+func (s *cellMode) RestoreFlipTags(addr pcm.LineAddr, tags uint64) {
+	if r, ok := s.inner.(schemes.TagRestorer); ok {
+		r.RestoreFlipTags(addr, tags)
+	}
+}
+
 // RecyclePlan implements schemes.PlanRecycler via the inner arena.
 func (s *cellMode) RecyclePlan(p schemes.Plan) {
 	if s.rec != nil {

@@ -1,6 +1,7 @@
 package registry_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -217,6 +218,110 @@ func TestComposedSchemesDecode(t *testing.T) {
 					rec.RecyclePlan(p)
 				}
 				copy(logical[li], next)
+			}
+		})
+	}
+}
+
+// TestComposedSchemesCrashRecovery extends the decode oracle across a
+// power cut: every composition is torn at three seeded pulse boundaries
+// (only a schedule-order prefix of the plan lands) and then driven
+// through the scheme-side recovery contract — classify the torn line,
+// restore the coding state from the physical flip cells, replan from
+// the decoded contents — after which the array must decode to exactly
+// the intended line again.
+func TestComposedSchemesCrashRecovery(t *testing.T) {
+	names := []string{
+		"dcw+flipmin", "conventional+flipmin", "dcw+remap", "tetris+remap",
+		"twostage+remap", "dcw+flipmin+remap", "dcw+mlc", "dcw+flipmin+mlc",
+		"tetris+remap+mlc", "adaptive", "adaptive+remap",
+	}
+	par := pcm.DefaultParams()
+	r := registry.Default()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			e, err := r.Resolve(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := e.Factory(par)
+			rec, _ := s.(schemes.PlanRecycler)
+			arr := schemes.NewArray(par)
+			rng := splitmix64(0xDECAFBAD)
+			const lines = 24
+			logical := make([][]byte, lines)
+			for i := range logical {
+				logical[i] = make([]byte, par.LineBytes)
+			}
+			writes := 120
+			if testing.Short() {
+				writes = 48
+			}
+			crashAt := map[int]bool{writes / 4: true, writes / 2: true, 3 * writes / 4: true}
+			torn := 0
+			for i := 0; i < writes; i++ {
+				li := int(rng.next() % lines)
+				addr := pcm.LineAddr(li)
+				next := make([]byte, par.LineBytes)
+				copy(next, logical[li])
+				flips := 1 + int(rng.next()%12)
+				if rng.next()%8 == 0 {
+					flips = par.LineBytes * 4
+				}
+				for f := 0; f < flips; f++ {
+					b := rng.next()
+					next[b%uint64(par.LineBytes)] ^= 1 << (b >> 32 % 8)
+				}
+				p := s.PlanWrite(addr, logical[li], next)
+				if !crashAt[i] {
+					if err := arr.CheckWrite(addr, p, next); err != nil {
+						t.Fatalf("write %d to line %d under %s: %v", i, li, name, err)
+					}
+					if rec != nil {
+						rec.RecyclePlan(p)
+					}
+					copy(logical[li], next)
+					continue
+				}
+
+				// Power cut: only the first k pulses (schedule order) land;
+				// k < len guarantees at least one pulse is lost.
+				cut := p
+				cut.Pulses = append([]schemes.Pulse(nil), p.Pulses...)
+				cut.SortPulses()
+				if n := len(cut.Pulses); n > 0 {
+					cut.Pulses = cut.Pulses[:int(rng.next()%uint64(n))]
+				}
+				arr.Apply(addr, cut)
+				if rec != nil {
+					rec.RecyclePlan(p)
+				}
+
+				dec := append([]byte(nil), arr.Logical(addr)...)
+				phys := arr.FlipTags(addr)
+				if cl, ok := s.(schemes.TornStateClassifier); ok {
+					// The verdict prices recovery; any verdict must leave the
+					// replan below valid.
+					st := schemes.TornState{Addr: addr, Old: logical[li], Want: next, Decoded: dec, Tags: phys}
+					_ = cl.ClassifyTorn(st)
+				}
+				if tr, ok := s.(schemes.TagRestorer); ok {
+					tr.RestoreFlipTags(addr, phys)
+				}
+				if !bytes.Equal(dec, next) {
+					torn++
+					p2 := s.PlanWrite(addr, dec, next)
+					if err := arr.CheckWrite(addr, p2, next); err != nil {
+						t.Fatalf("recovery replan of write %d to line %d under %s: %v", i, li, name, err)
+					}
+					if rec != nil {
+						rec.RecyclePlan(p2)
+					}
+				}
+				copy(logical[li], next)
+			}
+			if torn == 0 {
+				t.Error("no crash left a torn line; the recovery path never ran")
 			}
 		})
 	}

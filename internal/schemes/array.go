@@ -132,6 +132,26 @@ func (a *Array) SyncLogical(addr pcm.LineAddr, logical []byte) {
 	}
 }
 
+// FlipTags returns the line's physical flip-cell word in the
+// FlipTagReader layout (bit u*NumChips+c) — the tag image crash
+// recovery restores scheme state from. With more than 64 (chip, unit)
+// pairs only the first 64 are representable; the default geometry has
+// 32.
+func (a *Array) FlipTags(addr pcm.LineAddr) uint64 {
+	l := a.line(addr)
+	n := a.par.DataUnits() * a.par.NumChips
+	if n > 64 {
+		n = 64
+	}
+	var w uint64
+	for i := 0; i < n; i++ {
+		if a.cellFlip(l, i) {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
 // Encoded returns the raw stored bits and flip cell of one (chip, unit).
 func (a *Array) Encoded(addr pcm.LineAddr, c, u int) (bits uint16, flip bool) {
 	l := a.line(addr)

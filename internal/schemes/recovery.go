@@ -1,0 +1,172 @@
+package schemes
+
+import "tetriswrite/internal/pcm"
+
+// This file is the scheme-side half of the crash-recovery contract (the
+// controller/injector half lives in internal/crash). Power can be cut
+// between any two pulses of a plan, so the surviving array holds a torn
+// line: some pulses landed, the rest never will. Two distinct states
+// must be reconciled:
+//
+//   - the physical state — data cells and flip cells as the pulses left
+//     them (the crash package reconstructs it in an Array shadow);
+//   - the scheme's in-memory coding state — flip tags mutated eagerly at
+//     PlanWrite time, i.e. already advanced to the *planned* encoding
+//     even though the tag pulses may not have landed.
+//
+// Recovery always restores the scheme's tags from the physical flip
+// cells (TagRestorer) — the array is the ground truth after a crash —
+// and then replans decoded -> want. The classifier's verdict does not
+// change what recovery does; it prices it: a line whose in-memory tags
+// still match the physical tags crashed before the coding state
+// diverged, so finishing the write is a rollforward billed at a write
+// phase; a line whose tags diverged must be re-anchored and rewritten
+// from scratch — a reissue billed at full service time.
+
+// TornVerdict classifies one in-flight line found after a power cut.
+type TornVerdict uint8
+
+const (
+	// TornClean: every pulse landed; the line already decodes to the
+	// intended data. Nothing to replay.
+	TornClean TornVerdict = iota
+	// TornRollforward: the line is torn but the scheme's coding state
+	// still matches the physical flip cells; recovery finishes the write
+	// forward from the surviving image.
+	TornRollforward
+	// TornReissue: the scheme's coding state diverged from the physical
+	// flip cells (tag pulses lost, data pulses landed, or vice versa);
+	// recovery re-anchors the tags and reissues the write whole.
+	TornReissue
+)
+
+// String returns "clean", "rollforward" or "reissue".
+func (v TornVerdict) String() string {
+	switch v {
+	case TornClean:
+		return "clean"
+	case TornRollforward:
+		return "rollforward"
+	default:
+		return "reissue"
+	}
+}
+
+// TornState describes one in-flight line as recovery found it: the
+// intent-log endpoints (Old, Want), the logical contents the surviving
+// cells decode to under the physical flip tags, and those tags
+// themselves (bit u*NumChips+c, the FlipTagReader layout). All slices
+// are read-only to the classifier and not retained.
+type TornState struct {
+	Addr    pcm.LineAddr
+	Old     []byte // logical contents before the in-flight write
+	Want    []byte // logical contents the write intended
+	Decoded []byte // what the surviving cells decode to
+	Tags    uint64 // flip-cell word physically present in the array
+}
+
+// TornStateClassifier is implemented by schemes that can judge a torn
+// line. ClassifyTorn is called during recovery before the scheme's tags
+// are restored from the physical image, so implementations may compare
+// their in-memory coding state against st.Tags. Schemes without the
+// interface get TornReissue, the always-safe verdict.
+type TornStateClassifier interface {
+	ClassifyTorn(st TornState) TornVerdict
+}
+
+// TagRestorer is implemented by schemes whose per-line coding state can
+// be overwritten wholesale from the physical flip cells. Recovery calls
+// RestoreFlipTags for every in-flight line before replanning, so the
+// scheme's next PlanWrite encodes against the cells as they actually
+// survived. The word layout matches FlipTagReader: bit u*NumChips+c.
+type TagRestorer interface {
+	RestoreFlipTags(addr pcm.LineAddr, tags uint64)
+}
+
+// setWord overwrites the line's whole tag word — the TagRestorer view.
+func (f *flipState) setWord(addr pcm.LineAddr, w uint64) {
+	f.m.Ensure(int64(addr))[0] = w
+}
+
+// classifyByTags is the shared verdict rule of every tag-coded scheme:
+// rollforward while the in-memory tags still match the cells, reissue
+// once they diverged.
+func classifyByTags(mem, phys uint64) TornVerdict {
+	if mem == phys {
+		return TornRollforward
+	}
+	return TornReissue
+}
+
+// Comparison-only schemes keep no per-line coding state: any torn line
+// replans correctly from its decoded contents, so finishing forward is
+// always safe and always the cheap verdict.
+
+func (s *dcw) ClassifyTorn(TornState) TornVerdict          { return TornRollforward }
+func (s *conventional) ClassifyTorn(TornState) TornVerdict { return TornRollforward }
+
+// Flip-N-Write and the staged schemes code every data unit under one
+// inversion tag; their verdict is the shared tag-match rule and their
+// tag state restores wholesale from the physical flip cells.
+
+func (s *fnw) ClassifyTorn(st TornState) TornVerdict {
+	return classifyByTags(s.flips.word(st.Addr), st.Tags)
+}
+func (s *fnw) RestoreFlipTags(addr pcm.LineAddr, tags uint64) { s.flips.setWord(addr, tags) }
+
+func (s *twoStage) ClassifyTorn(st TornState) TornVerdict {
+	return classifyByTags(s.flips.word(st.Addr), st.Tags)
+}
+func (s *twoStage) RestoreFlipTags(addr pcm.LineAddr, tags uint64) { s.flips.setWord(addr, tags) }
+
+func (s *threeStage) ClassifyTorn(st TornState) TornVerdict {
+	return classifyByTags(s.flips.word(st.Addr), st.Tags)
+}
+func (s *threeStage) RestoreFlipTags(addr pcm.LineAddr, tags uint64) { s.flips.setWord(addr, tags) }
+
+// flipMin owns the tag domain itself (its inner scheme is tagless by
+// registry contract), so classification and restoration stop here.
+
+func (s *flipMin) ClassifyTorn(st TornState) TornVerdict {
+	return classifyByTags(s.flips.word(st.Addr), st.Tags)
+}
+func (s *flipMin) RestoreFlipTags(addr pcm.LineAddr, tags uint64) { s.flips.setWord(addr, tags) }
+
+// The remapper is wear-accounting only — the inner scheme plans under
+// the logical address — so both halves of the contract forward.
+
+func (s *remapper) ClassifyTorn(st TornState) TornVerdict {
+	if cl, ok := s.inner.(TornStateClassifier); ok {
+		return cl.ClassifyTorn(st)
+	}
+	return TornReissue
+}
+func (s *remapper) RestoreFlipTags(addr pcm.LineAddr, tags uint64) {
+	if r, ok := s.inner.(TagRestorer); ok {
+		r.RestoreFlipTags(addr, tags)
+	}
+}
+
+// The adaptive meta-scheme routes to the candidate that owns the line —
+// the one whose coding state matches the cells; the in-flight write was
+// planned by it (PlanWrite assigns ownership before emitting pulses, so
+// a line with an armed intent always has an owner).
+
+func (s *adaptive) tornOwner(addr pcm.LineAddr) Scheme {
+	if w := s.owner.Get(int64(addr)); w != nil && w[0] != 0 {
+		return s.cands[int(w[0])-1]
+	}
+	return s.cands[s.active]
+}
+
+func (s *adaptive) ClassifyTorn(st TornState) TornVerdict {
+	if cl, ok := s.tornOwner(st.Addr).(TornStateClassifier); ok {
+		return cl.ClassifyTorn(st)
+	}
+	return TornReissue
+}
+func (s *adaptive) RestoreFlipTags(addr pcm.LineAddr, tags uint64) {
+	if r, ok := s.tornOwner(addr).(TagRestorer); ok {
+		r.RestoreFlipTags(addr, tags)
+	}
+}

@@ -1,0 +1,107 @@
+package system
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"tetriswrite/internal/crash"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/tetris"
+	"tetriswrite/internal/units"
+	"tetriswrite/internal/workload"
+)
+
+// A full-system run cut at a pulse boundary surfaces the surviving
+// image through the error chain, Recover repairs every in-flight line,
+// and the crash.* counters ride the telemetry sampler like any other
+// layer's.
+func TestRunCutAtPulseRecovers(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	cfg := smallConfig()
+	cfg.Crash = crash.Config{AtPulse: 5_000}
+	cfg.Epoch = 100 * units.Microsecond
+
+	res, err := Run(prof, tetris.New, cfg)
+	if err == nil {
+		t.Fatal("crash-armed run finished without an error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("cut not wrapped in a RunError: %v", err)
+	}
+	if re.Fp.Workload != "vips" || re.Fp.Scheme != "tetris" {
+		t.Errorf("fingerprint %+v lost the run labels", re.Fp)
+	}
+	var ce *crash.CutError
+	if !errors.As(err, &ce) {
+		t.Fatalf("cut not reachable via errors.As: %v", err)
+	}
+	img := ce.Image
+	if img == nil || img.Dev == nil || img.Shadow == nil {
+		t.Fatal("cut image incomplete")
+	}
+	if img.PulsesIssued < 5_000 {
+		t.Errorf("cut after %d pulses, trigger was 5000", img.PulsesIssued)
+	}
+	if len(img.Intents) == 0 {
+		t.Fatal("no intents in flight at a mid-run pulse cut")
+	}
+
+	// Partial statistics survive the abort, and the sampler carries the
+	// injector's counters.
+	if res.Ctrl.Writes == 0 {
+		t.Error("no partial statistics on the aborted result")
+	}
+	if res.Telemetry == nil {
+		t.Fatal("no telemetry on the aborted result")
+	}
+	found := false
+	for _, n := range res.Telemetry.SeriesNames() {
+		if strings.HasPrefix(n, "crash.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no crash.* series among %v", res.Telemetry.SeriesNames())
+	}
+
+	rep, err := Recover(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Intents != len(img.Intents) {
+		t.Errorf("recovery covered %d of %d intents", rep.Intents, len(img.Intents))
+	}
+	buf := make([]byte, img.Params.LineBytes)
+	for _, in := range img.Intents {
+		img.Dev.PeekLine(in.Addr, buf)
+		if !bytes.Equal(buf, in.Want) {
+			t.Errorf("intent line %d not recovered to its intended data", in.Addr)
+		}
+	}
+}
+
+// The two failure substrates are mutually exclusive: injected cell
+// faults would make the device drift from the crash shadow's pure
+// pulse-train model, so arming both must be rejected up front.
+func TestRunCrashRejectsFaultModel(t *testing.T) {
+	cfg := faultConfig()
+	cfg.Crash = crash.Config{AtPulse: 100}
+	_, err := Run(faultProfile(t), schemes.NewDCW, cfg)
+	if err == nil {
+		t.Fatal("crash injection accepted alongside the fault model")
+	}
+	if !strings.Contains(err.Error(), "incompatible") {
+		t.Errorf("error does not explain the incompatibility: %v", err)
+	}
+}
+
+// Recover on a nil image is a caller bug and must not panic.
+func TestRecoverNilImage(t *testing.T) {
+	if _, err := Recover(nil); err == nil {
+		t.Error("Recover(nil) returned no error")
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"tetriswrite/internal/cache"
 	"tetriswrite/internal/cpu"
+	"tetriswrite/internal/crash"
 	"tetriswrite/internal/fault"
 	"tetriswrite/internal/guard"
 	"tetriswrite/internal/linestore"
@@ -74,6 +75,17 @@ type Config struct {
 	// SpareLines sizes the hard-error spare region (default 64 when the
 	// fault model is enabled, ignored otherwise).
 	SpareLines int
+
+	// Crash configures the deterministic power-failure injector: the run
+	// is cut at the configured pulse/write/cycle boundary, the device
+	// freezes at exactly the pulses completed so far, and the run
+	// returns a *RunError wrapping *crash.CutError whose Image feeds
+	// Recover. The zero value attaches nothing and the run is
+	// bit-identical to one without this field. Incompatible with the
+	// fault model (the device would drift from the crash shadow) and
+	// with write pausing/cancellation and idle PreSET (they move or
+	// bypass the frozen pulse schedule).
+	Crash crash.Config
 
 	// Epoch, when positive, attaches the telemetry sampler: every layer
 	// registers its counters and a snapshot of all of them is taken each
@@ -384,6 +396,11 @@ func RunCtx(ctx context.Context, prof workload.Profile, factory schemes.Factory,
 	}
 
 	ctrl := memctrl.New(eng, dev, factory, cfg.Ctrl)
+	ctrl.SetFingerprint(fp)
+	cinj, err := attachCrash(eng, dev, ctrl, cfg, inj != nil)
+	if err != nil {
+		return Result{}, err
+	}
 	g := newGuard(eng, ctrl, cfg, fp)
 	prog := workload.NewProgram(prof, cfg.Cores, cfg.Seed, cfg.Params)
 
@@ -482,6 +499,7 @@ func RunCtx(ctx context.Context, prof workload.Profile, factory schemes.Factory,
 		sampler = attachTelemetry(eng, cfg, telemetryParts{
 			ctrl: ctrl, dev: dev, hier: hier, remap: remap,
 			inj: inj, spare: spare, cores: cores, clock: cfg.CPUClock,
+			crash: cinj,
 		})
 	}
 	runErr := runEngine(ctx, eng, cfg, fp, sampler)
@@ -538,6 +556,11 @@ func RunTraceCtx(ctx context.Context, label string, recs []trace.Record, cores i
 	}
 
 	ctrl := memctrl.New(eng, dev, factory, cfg.Ctrl)
+	ctrl.SetFingerprint(fp)
+	cinj, err := attachCrash(eng, dev, ctrl, cfg, inj != nil)
+	if err != nil {
+		return Result{}, err
+	}
 	g := newGuard(eng, ctrl, cfg, fp)
 
 	var spare *fault.SpareRemapper
@@ -599,6 +622,7 @@ func RunTraceCtx(ctx context.Context, label string, recs []trace.Record, cores i
 		sampler = attachTelemetry(eng, cfg, telemetryParts{
 			ctrl: ctrl, dev: dev, hier: hier,
 			inj: inj, spare: spare, cores: cpuCores, clock: cfg.CPUClock,
+			crash: cinj,
 		})
 	}
 	runErr := runEngine(ctx, eng, cfg, fp, sampler)

@@ -3,6 +3,7 @@ package system
 import (
 	"tetriswrite/internal/cache"
 	"tetriswrite/internal/cpu"
+	"tetriswrite/internal/crash"
 	"tetriswrite/internal/fault"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
@@ -21,6 +22,7 @@ type telemetryParts struct {
 	remap *wearlevel.Remapper
 	inj   *fault.Injector
 	spare *fault.SpareRemapper
+	crash *crash.Injector
 	cores []*cpu.Core
 	clock units.Clock
 }
@@ -44,6 +46,9 @@ func attachTelemetry(eng *sim.Engine, cfg Config, parts telemetryParts) *telemet
 	}
 	if parts.inj != nil {
 		registerFaultMetrics(reg, parts.inj, parts.spare)
+	}
+	if parts.crash != nil {
+		registerCrashMetrics(reg, parts.crash)
 	}
 	// Engine queue depth: the one signal that distinguishes a simulation
 	// falling behind (depth growing epoch over epoch) from one that is

@@ -1,0 +1,25 @@
+package tetris
+
+import (
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+)
+
+// ClassifyTorn implements schemes.TornStateClassifier: Tetris codes
+// every data unit under one inversion tag, so a torn line rolls forward
+// while the in-memory tags still match the physical flip cells and is
+// reissued once they diverged (the scheme commits its tag decisions at
+// PlanWrite time, before any pulse lands).
+func (s *scheme) ClassifyTorn(st schemes.TornState) schemes.TornVerdict {
+	if s.FlipTags(st.Addr) == st.Tags {
+		return schemes.TornRollforward
+	}
+	return schemes.TornReissue
+}
+
+// RestoreFlipTags implements schemes.TagRestorer: the tag word is
+// overwritten wholesale from the physical flip cells, re-anchoring the
+// coding state to whatever the crash left in the array.
+func (s *scheme) RestoreFlipTags(addr pcm.LineAddr, tags uint64) {
+	s.flips.Ensure(int64(addr))[0] = tags
+}

@@ -30,6 +30,7 @@ trap cleanup EXIT
 echo "== broker"
 "$BIN/pcmsimd" -rpc "$RPC" -http "$HTTP" -journal "$WORK/journal.jsonl" \
     -lease 2s -poll 50ms -backoff 100ms -max-backoff 1s &
+BROKER=$!
 
 for i in $(seq 1 100); do
     if curl -fsS "http://$HTTP/healthz" >/dev/null 2>&1; then
@@ -72,4 +73,28 @@ if ! diff -u "$WORK/serial.txt" "$WORK/fleet.txt"; then
     exit 1
 fi
 
-echo "== fleet smoke OK (job $JOB byte-identical to serial)"
+# Journal replay: kill the broker, restart it from the same journal
+# (which now carries per-record checksums), and require the replayed
+# broker to serve the identical result for the completed job. The diff
+# is piped through tee for the CI log; pipefail + `if !` ensure a
+# mid-pipeline diff failure exits this script nonzero instead of being
+# masked by tee's exit status.
+echo "== restart broker from journal"
+kill "$BROKER" 2>/dev/null || true
+wait "$BROKER" 2>/dev/null || true
+"$BIN/pcmsimd" -rpc "$RPC" -http "$HTTP" -journal "$WORK/journal.jsonl" \
+    -lease 2s -poll 50ms -backoff 100ms -max-backoff 1s &
+for i in $(seq 1 100); do
+    if curl -fsS "http://$HTTP/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" = 100 ] && { echo "replayed broker never became healthy" >&2; exit 1; }
+    sleep 0.1
+done
+curl -fsS "http://$HTTP/jobs/$JOB/result" >"$WORK/replay.txt"
+if ! diff -u "$WORK/fleet.txt" "$WORK/replay.txt" | tee "$WORK/replay.diff"; then
+    echo "journal replay served a different result for job $JOB" >&2
+    exit 1
+fi
+
+echo "== fleet smoke OK (job $JOB byte-identical to serial; journal replay identical)"
