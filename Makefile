@@ -3,10 +3,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 # The gated hot-path benchmarks: per-write planning cost (base and
-# registry-composed schemes), one full system simulation end to end, and
+# registry-composed schemes), one full system simulation end to end,
+# the serial-vs-parallel engine-mode comparison across bank counts, and
 # the long-trace event-engine sweep (timing wheel vs the seed binary
 # heap across pending populations).
-BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkComposedSchemePlanWrite|BenchmarkFullSystemSingle|BenchmarkEngineLongTrace
+BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkComposedSchemePlanWrite|BenchmarkFullSystemSingle|BenchmarkFullSystemParallel|BenchmarkEngineLongTrace
 BENCHCOUNT ?= 3
 
 # Build stamping for `<binary> -version`: ldflags override the

@@ -53,29 +53,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tetrisbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig    = fs.Int("fig", 0, "figure to regenerate (3, 4, 10, 11, 12, 13, 14)")
-		table  = fs.Int("table", 0, "table to regenerate (2 or 3)")
-		all    = fs.Bool("all", false, "regenerate every table and figure")
-		writes = fs.Int("writes", 5000, "line writes sampled per workload (figures 3, 10)")
-		instr  = fs.Int64("instr", 1_000_000, "per-core instruction budget (figures 11-14)")
-		cores  = fs.Int("cores", 4, "number of cores")
-		seed   = fs.Int64("seed", 1, "workload seed")
-		seq    = fs.Bool("sequential", false, "disable parallel simulation")
-		par    = fs.Int("parallel", 0, "concurrent full-system simulations (0 = all CPUs; tables are bit-identical at any value)")
-		runTO  = fs.Duration("run-timeout", 0, "wall-clock limit per full-system simulation, e.g. 5m (0 = none)")
-		engine = fs.String("engine", "", "event queue implementation: wheel (default) or heap; tables are bit-identical")
+		fig        = fs.Int("fig", 0, "figure to regenerate (3, 4, 10, 11, 12, 13, 14)")
+		table      = fs.Int("table", 0, "table to regenerate (2 or 3)")
+		all        = fs.Bool("all", false, "regenerate every table and figure")
+		writes     = fs.Int("writes", 5000, "line writes sampled per workload (figures 3, 10)")
+		instr      = fs.Int64("instr", 1_000_000, "per-core instruction budget (figures 11-14)")
+		cores      = fs.Int("cores", 4, "number of cores")
+		seed       = fs.Int64("seed", 1, "workload seed")
+		seq        = fs.Bool("sequential", false, "disable parallel simulation")
+		par        = fs.Int("parallel", 0, "concurrent full-system simulations (0 = all CPUs; tables are bit-identical at any value)")
+		runTO      = fs.Duration("run-timeout", 0, "wall-clock limit per full-system simulation, e.g. 5m (0 = none)")
+		engine     = fs.String("engine", "", "event queue implementation: wheel (default) or heap; tables are bit-identical")
+		engineMode = fs.String("engine-mode", "", "execution mode: serial (default) or parallel (per-bank planning workers); tables are bit-identical")
 		schemeList = fs.String("schemes", "", "comma-separated scheme names for the full-system figures (registry names, composable with +, e.g. baseline,tetris,dcw+flipmin,adaptive); empty = the paper set; the first is the normalization baseline")
-		energy = fs.Bool("energy", false, "also print the energy-per-write table with the full-system figures")
-		sweep  = fs.String("sweep", "", "extra sweep beyond the paper: 'line' (64/128/256 B) or 'budget' (32..4)")
-		endur  = fs.Bool("endurance", false, "also run the endurance (wear leveling) table")
-		faults = fs.Bool("faults", false, "also run the fault-tolerance (verify-retry + line sparing) table")
-		check  = fs.Bool("check", false, "verify the paper's qualitative claims and print a reproduction certificate")
-		plot   = fs.Bool("plot", false, "render figures as bar charts instead of tables")
-		tail   = fs.Bool("tail", false, "also print the P99 read latency table with the full-system figures")
-		seeds  = fs.Int("seeds", 0, "run the seed-robustness sweep over this many seeds")
-		csv    = fs.Bool("csv", false, "render figures as CSV instead of tables")
-		mlcCmp = fs.Bool("mlc", false, "print the SLC-vs-MLC write-time comparison (background section)")
-		line   = fs.Int("line", 0, "cache line size in bytes (default 64; 128/256 model POWER7/zEnterprise)")
+		energy     = fs.Bool("energy", false, "also print the energy-per-write table with the full-system figures")
+		sweep      = fs.String("sweep", "", "extra sweep beyond the paper: 'line' (64/128/256 B) or 'budget' (32..4)")
+		endur      = fs.Bool("endurance", false, "also run the endurance (wear leveling) table")
+		faults     = fs.Bool("faults", false, "also run the fault-tolerance (verify-retry + line sparing) table")
+		check      = fs.Bool("check", false, "verify the paper's qualitative claims and print a reproduction certificate")
+		plot       = fs.Bool("plot", false, "render figures as bar charts instead of tables")
+		tail       = fs.Bool("tail", false, "also print the P99 read latency table with the full-system figures")
+		seeds      = fs.Int("seeds", 0, "run the seed-robustness sweep over this many seeds")
+		csv        = fs.Bool("csv", false, "render figures as CSV instead of tables")
+		mlcCmp     = fs.Bool("mlc", false, "print the SLC-vs-MLC write-time comparison (background section)")
+		line       = fs.Int("line", 0, "cache line size in bytes (default 64; 128/256 model POWER7/zEnterprise)")
 
 		crashEvery = fs.Int64("crash-every", 0, "run the crash-consistency sweep: cut power at every Kth pulse boundary of every (workload, scheme) cell, recover, resume, and print the recovery classification table")
 		crashCuts  = fs.Int("crash-cuts", 0, "cap on cut points per cell of the crash sweep, subsampled evenly (0 = 8)")
@@ -102,6 +103,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if !sim.QueueKind(*engine).Valid() {
 		return fmt.Errorf("-engine %q: want wheel or heap", *engine)
 	}
+	if !sim.EngineMode(*engineMode).Valid() {
+		return fmt.Errorf("-engine-mode %q: want serial or parallel", *engineMode)
+	}
 	opt := exp.Options{
 		Writes:      *writes,
 		InstrBudget: *instr,
@@ -111,6 +115,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Parallel:    *par,
 		RunTimeout:  *runTO,
 		EngineQueue: sim.QueueKind(*engine),
+		EngineMode:  sim.EngineMode(*engineMode),
 	}
 	if *schemeList != "" {
 		for _, n := range strings.Split(*schemeList, ",") {

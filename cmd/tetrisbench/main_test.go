@@ -220,6 +220,51 @@ func TestParallelMatchesSerialOutput(t *testing.T) {
 	}
 }
 
+// TestIdenticalFlagsGoldenOutput is the harness-level determinism
+// regression test: two runs with identical flags emit byte-identical
+// tables. The flag set deliberately crosses every randomness source the
+// harness owns — the seeded workload generators, the full-system sweep,
+// and the -mlc comparison, whose drift sampling draws from the
+// harness-local seeded *rand.Rand (a global-rand regression here would
+// show up as run-to-run drift).
+func TestIdenticalFlagsGoldenOutput(t *testing.T) {
+	args := []string{"-fig", "13", "-instr", "10000", "-writes", "50", "-mlc", "-seed", "3"}
+	var first, second, errb bytes.Buffer
+	if err := run(context.Background(), args, &first, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args, &second, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 {
+		t.Fatal("no output rendered")
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("identical invocations diverged:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+// TestEngineModeFlag: -engine-mode parallel renders byte-identical
+// tables to the serial default, and unknown modes are rejected before
+// any simulation work.
+func TestEngineModeFlag(t *testing.T) {
+	args := []string{"-fig", "13", "-instr", "10000", "-writes", "50"}
+	var serial, parallel, errb bytes.Buffer
+	if err := run(context.Background(), append(args, "-engine-mode", "serial"), &serial, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append(args, "-engine-mode", "parallel"), &parallel, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 || serial.String() != parallel.String() {
+		t.Errorf("-engine-mode parallel output differs from serial:\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+	if err := run(context.Background(), []string{"-fig", "13", "-engine-mode", "turbo"}, &serial, &errb); err == nil {
+		t.Fatal("unknown -engine-mode accepted")
+	}
+}
+
 // TestCancelledSweepRendersPartials: a pre-cancelled context fails the
 // sweep but still reports how many cells finished.
 func TestCancelledSweepRendersPartials(t *testing.T) {

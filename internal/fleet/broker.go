@@ -286,7 +286,7 @@ func (b *Broker) newJobLocked(id string, spec SweepSpec) *job {
 		state:   JobRunning,
 		created: now,
 		done:    make(chan struct{}),
-		events:  newEventLog(),
+		events:  newEventLog(b.cfg.Now),
 	}
 	if d := spec.deadline(); d > 0 {
 		j.deadline = now.Add(d)

@@ -28,14 +28,22 @@ type Event struct {
 // a subscriber whose buffer is full misses events (it still has the
 // history snapshot; the stream is diagnostics, not a ledger).
 type eventLog struct {
+	// now stamps appended events. It is the broker's injected clock, not
+	// the wall clock, so a journal replay under a fake clock produces a
+	// byte-identical event stream — timestamps included.
+	now func() time.Time
+
 	mu     sync.Mutex
 	events []Event
 	subs   map[chan Event]struct{}
 	closed bool
 }
 
-func newEventLog() *eventLog {
-	return &eventLog{subs: make(map[chan Event]struct{})}
+func newEventLog(now func() time.Time) *eventLog {
+	if now == nil {
+		now = time.Now
+	}
+	return &eventLog{now: now, subs: make(map[chan Event]struct{})}
 }
 
 // append records the event, stamping sequence and time.
@@ -43,7 +51,7 @@ func (l *eventLog) append(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = len(l.events)
-	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	e.Time = l.now().UTC().Format(time.RFC3339Nano)
 	l.events = append(l.events, e)
 	for ch := range l.subs {
 		select {

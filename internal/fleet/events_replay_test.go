@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestJournalReplayEventLogDeterministic is the regression test for the
+// event log's clock: append used to stamp events with the wall clock
+// directly, bypassing the broker's injected Config.Now, so two replays
+// of the same journal produced event streams differing in their Time
+// fields. With the clock threaded through, two brokers resuming the
+// same journal under identical fake clocks emit byte-identical event
+// logs — timestamps included.
+func TestJournalReplayEventLogDeterministic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	var id string
+
+	// Seed the journal: a 4-shard job with 2 shards completed, then a
+	// "crash" (Close without finishing the job).
+	{
+		clk := newFakeClock()
+		b, err := New(Config{JournalPath: path, LeaseTTL: time.Second, Now: clk.Now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := SweepSpec{Workloads: []string{"vips", "canneal"},
+			Schemes: []string{"baseline", "tetris"}, Instr: 1000}
+		if id, err = b.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+		wid := register(t, b, "seed-worker")
+		for i := 0; i < 2; i++ {
+			a, found := lease(t, b, wid)
+			if !found {
+				t.Fatalf("no shard to lease on iteration %d", i)
+			}
+			completeOK(t, b, wid, a)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replay := func() []Event {
+		clk := newFakeClock()
+		b, err := New(Config{JournalPath: path, LeaseTTL: time.Second, Now: clk.Now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		b.mu.Lock()
+		j := b.jobs[id]
+		b.mu.Unlock()
+		if j == nil {
+			t.Fatalf("job %s not restored from journal", id)
+		}
+		history, live, _ := j.events.subscribe()
+		if live != nil {
+			j.events.unsubscribe(live)
+		}
+		return history
+	}
+
+	first, second := replay(), replay()
+	if len(first) == 0 {
+		t.Fatal("replayed job emitted no events (want at least the resume event)")
+	}
+	a, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("replayed event logs diverged:\nfirst:  %s\nsecond: %s", a, b)
+	}
+	// The stamps must come from the injected clock, not the host's.
+	wantTime := newFakeClock().Now().UTC().Format(time.RFC3339Nano)
+	for i, e := range first {
+		if e.Time != wantTime {
+			t.Errorf("event %d stamped %q, want the fake clock's %q", i, e.Time, wantTime)
+		}
+	}
+}

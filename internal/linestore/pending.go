@@ -10,6 +10,14 @@ package linestore
 //
 // Values are stored by reference — the caller keeps ownership of the
 // buffer, exactly like storing a slice in a map.
+//
+// Concurrency: Pending is deliberately not goroutine-safe — it is a
+// single-writer structure owned by the simulation engine's goroutine.
+// The parallel engine mode preserves that contract: bank workers only
+// compute write plans from issue-time snapshots and never touch
+// controller-side associations, so every Put/Delete/Range still happens
+// on the coordinator (the engine-mode cross-check sweep runs under the
+// race detector in CI to keep it that way).
 type Pending struct {
 	idx  map[Addr]int
 	keys []Addr

@@ -1,0 +1,256 @@
+package memctrl
+
+// Deferred per-bank write planning: the parallel engine of ROADMAP item
+// 2. Scheme planning — the dominant per-write CPU cost — runs on one
+// worker goroutine per bank while the coordinator (the engine goroutine)
+// keeps issuing work to other banks. Determinism comes from three rules:
+//
+//  1. Conservative lookahead. At issue time the coordinator knows the
+//     write's service-time floor (schemes.FloorOf: a sound lower bound
+//     on the plan's service time, exact for fixed-slot schemes), so it
+//     schedules the completion as a lazily-timed event (sim.AtLazy) at
+//     issue+floor. The event carries the sequence number the serial
+//     path would have used — startWrite's only engine call — so the
+//     event streams of both modes are identical. When the placeholder
+//     reaches the head of the queue its resolver joins the worker,
+//     learns the real end time, and the kernel transparently re-queues
+//     (or runs, if the floor was exact) the event there. The kernel
+//     panics if a plan undercuts its floor.
+//
+//  2. Issue-order commit. Worker results (stats, wear, guard verdicts)
+//     are applied strictly in issue order through a FIFO of outstanding
+//     jobs, reproducing the serial path's accumulation order exactly —
+//     float64 write-unit sums and first-violation-wins guard semantics
+//     are order-sensitive. Workers compute into private job fields and
+//     never touch controller, device or engine state; everything they
+//     need (queue depths, the stored-line snapshot) is captured at
+//     issue time.
+//
+//  3. Consistent cuts. Any observer that reads cross-bank state —
+//     the telemetry sampler at epoch boundaries, collectResult after a
+//     run, a watchdog abort — first drains the FIFO via Sync (the
+//     channel joins double as the happens-before edges for the race
+//     detector), so it sees exactly the state the serial engine would
+//     have had at the same instant.
+//
+// Features that inspect or reshape plans after issue — write pausing
+// and cancellation, idle PreSET, program-and-verify, crash hooks, deep
+// guard replay — latch the mode back to serial at the first write and
+// keep the seed semantics, trivially bit-identical.
+
+import (
+	"bytes"
+
+	"tetriswrite/internal/guard"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/units"
+)
+
+// writeJob is one deferred write: issue-time inputs captured by the
+// coordinator, outputs computed by the bank worker, committed by the
+// coordinator in issue order.
+type writeJob struct {
+	bank            *bank
+	req             *request
+	old             []byte // job-owned snapshot of the stored line
+	issued          units.Time
+	qreads, qwrites int
+	guarded         bool
+
+	// Worker outputs.
+	sets, resets int
+	writeUnits   float64
+	svc          units.Duration
+	iss          *guard.PlanIssue
+	panicVal     any
+
+	applied bool
+}
+
+// latchMode decides, at the first write, whether planning runs deferred
+// on per-bank workers. Every serial-fallback trigger is attached by then
+// (SetCrash and SetGuard run during system assembly, before the engine).
+func (c *Controller) latchMode() {
+	c.modeLatched = true
+	c.deferred = c.cfg.ParallelBanks &&
+		!c.cfg.WritePausing && !c.cfg.WriteCancellation &&
+		!c.cfg.IdlePreset && !c.cfg.VerifyWrites &&
+		c.crash == nil && !c.guard.Deep()
+	if c.deferred {
+		c.startWorkers()
+	}
+}
+
+func (c *Controller) startWorkers() {
+	c.workersUp = true
+	for _, b := range c.banks {
+		b.jobs = make(chan *writeJob, 1)
+		b.results = make(chan *writeJob, 1)
+		b.floorClean = schemes.FloorOf(b.scheme, c.par, false)
+		b.floorChanged = schemes.FloorOf(b.scheme, c.par, true)
+		c.wg.Add(1)
+		go c.bankWorker(b)
+	}
+}
+
+// Close shuts the bank workers down, applying any outstanding results
+// first. Idempotent, and a no-op when workers never started (serial
+// mode). The owner must call it before reading final statistics; the
+// system harness does so before collectResult and again from a defer so
+// a panicking run still joins its goroutines.
+func (c *Controller) Close() {
+	if !c.workersUp || c.closed {
+		return
+	}
+	c.closed = true
+	defer func() {
+		for _, b := range c.banks {
+			close(b.jobs)
+		}
+		c.wg.Wait()
+	}()
+	c.Sync()
+}
+
+// Sync joins every outstanding bank worker and commits their results in
+// issue order. The telemetry sampler runs it before every epoch
+// snapshot so metric closures observe a consistent cross-bank cut; it
+// is a cheap no-op with nothing outstanding, or in serial mode.
+func (c *Controller) Sync() {
+	for c.inflightHead < len(c.inflight) {
+		c.applyNext()
+	}
+	c.inflight = c.inflight[:0]
+	c.inflightHead = 0
+}
+
+// applyNext joins the oldest outstanding job and commits it.
+func (c *Controller) applyNext() {
+	j := c.inflight[c.inflightHead]
+	c.inflightHead++
+	if got := <-j.bank.results; got != j {
+		panic("memctrl: bank worker returned a different job")
+	}
+	c.applyJob(j)
+}
+
+// applyThrough commits outstanding jobs in issue order until target is
+// applied (no-op if it already was).
+func (c *Controller) applyThrough(target *writeJob) {
+	for !target.applied {
+		c.applyNext()
+	}
+	if c.inflightHead == len(c.inflight) {
+		c.inflight = c.inflight[:0]
+		c.inflightHead = 0
+	}
+}
+
+// applyJob commits one worker result, mirroring the serial startWrite's
+// post-planning sequence exactly: guard verdict first (stamped at issue
+// time), then pulse statistics, wear, and the bank's timing window.
+func (c *Controller) applyJob(j *writeJob) {
+	if j.panicVal != nil {
+		// Re-panic with the worker's original value so the run harness
+		// reports the same typed PanicError a serial run would.
+		panic(j.panicVal)
+	}
+	c.guard.ReportPlanIssue(j.issued, j.iss)
+	c.stats.BitSets += int64(j.sets)
+	c.stats.BitResets += int64(j.resets)
+	c.stats.WriteUnits += j.writeUnits
+	if c.wear != nil {
+		c.wear.Record(j.req.addr, j.sets+j.resets)
+	}
+	b := j.bank
+	b.busyTime += j.svc
+	b.writeStart = j.issued
+	b.writeEnd = j.issued.Add(j.svc)
+	j.applied = true
+}
+
+func (c *Controller) bankWorker(b *bank) {
+	defer c.wg.Done()
+	for j := range b.jobs {
+		c.runJob(b, j)
+		b.results <- j
+	}
+}
+
+// runJob is the worker half of a write: observe queue pressure, plan,
+// validate. It reads only the job's private inputs, the bank's scheme
+// (exclusively this worker's while the job is outstanding) and the
+// guard's immutable parameters — never the device, queues or engine.
+func (c *Controller) runJob(b *bank, j *writeJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicVal = r
+		}
+	}()
+	if b.observer != nil {
+		b.observer.ObserveQueues(j.qreads, j.qwrites)
+	}
+	plan := b.scheme.PlanWrite(j.req.addr, j.old, j.req.data)
+	if j.guarded {
+		j.iss = c.guard.ValidateWritePlan(j.req.addr, plan)
+	}
+	j.sets, j.resets = plan.Counts()
+	j.writeUnits = plan.WriteUnits()
+	j.svc = plan.ServiceTime()
+	if b.recycler != nil {
+		b.recycler.RecyclePlan(plan)
+	}
+}
+
+func (c *Controller) newJob() *writeJob {
+	if n := len(c.jobFree); n > 0 {
+		j := c.jobFree[n-1]
+		c.jobFree[n-1] = nil
+		c.jobFree = c.jobFree[:n-1]
+		return j
+	}
+	return &writeJob{}
+}
+
+func (c *Controller) freeJob(j *writeJob) {
+	old := j.old
+	*j = writeJob{old: old}
+	c.jobFree = append(c.jobFree, j)
+}
+
+// startWriteDeferred is startWrite's deferred-planning twin: capture
+// the inputs, hand the job to the bank worker, and schedule the
+// completion at the conservative floor. It makes exactly one engine
+// scheduling call — like the serial path — so sequence numbers align
+// and both modes pop events in the same order.
+func (c *Controller) startWriteDeferred(b *bank, req *request) {
+	b.write = req
+	now := c.eng.Now()
+	j := c.newJob()
+	j.bank, j.req, j.issued = b, req, now
+	j.qreads, j.qwrites = len(c.readQ), len(c.writeQ)
+	if j.old == nil {
+		j.old = make([]byte, c.par.LineBytes)
+	}
+	c.dev.PeekLine(req.addr, j.old)
+	j.guarded = c.guard.BeginWritePlan(now)
+	floor := b.floorChanged
+	if bytes.Equal(j.old, req.data) {
+		floor = b.floorClean
+	}
+	c.inflight = append(c.inflight, j)
+	b.jobs <- j
+	gen := b.gen
+	c.eng.AtLazy(now.Add(floor), func() (units.Time, func()) {
+		c.applyThrough(j)
+		end := b.writeEnd
+		c.freeJob(j)
+		return end, func() {
+			if b.gen != gen || b.write != req {
+				return
+			}
+			c.dev.WriteLine(req.addr, req.data)
+			c.completeWrite(b, req, end)
+		}
+	})
+}

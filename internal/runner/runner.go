@@ -9,7 +9,12 @@
 // filled in parallel is indistinguishable from one filled serially:
 // every job owns its inputs (seeds, configs) and the pool imposes no
 // ordering of its own. That is what lets tetrisbench promise bit-
-// identical tables for -parallel 1 and -parallel N.
+// identical tables for -parallel 1 and -parallel N. Concretely, worker
+// goroutines write only results[i] for the job index they leased off the
+// shared channel — disjoint slots, no shared accumulator — so the only
+// cross-goroutine edges are the channel handoff and the final WaitGroup
+// join, and positional determinism needs no locking (pinned by
+// TestAllRunsEveryJobPositionally under the race detector in CI).
 package runner
 
 import (

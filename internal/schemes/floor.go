@@ -1,0 +1,107 @@
+package schemes
+
+import (
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/units"
+)
+
+// ServiceFloorer is an optional Scheme capability: a sound lower bound
+// on PlanWrite(...).ServiceTime() knowing only whether the write changes
+// the stored line (changed = !bytes.Equal(old, new)). The parallel
+// controller uses the floor as its conservative lookahead — it schedules
+// a write's completion at issue+floor before the plan exists, and the
+// sim kernel panics if the real plan ever undercuts the bound, so an
+// unsound floor is caught immediately instead of silently reordering
+// events.
+//
+// Floors must be monotone — ServiceFloor(false) <= ServiceFloor(true) —
+// because decorators whose encoding can hide a logical change (flip
+// minimization) fall back to the inner scheme's unchanged-line floor.
+type ServiceFloorer interface {
+	ServiceFloor(changed bool) units.Duration
+}
+
+// FloorOf returns s's service-time floor: the scheme's own bound when it
+// implements ServiceFloorer, otherwise the universal one — a changed
+// line needs at least one pulse, and every pulse kind lasts at least
+// TReset (Params.Validate enforces TSet >= TReset), while an unchanged
+// line may complete instantly under a comparison-based scheme.
+func FloorOf(s Scheme, par pcm.Params, changed bool) units.Duration {
+	if f, ok := s.(ServiceFloorer); ok {
+		return f.ServiceFloor(changed)
+	}
+	if changed {
+		return par.TReset
+	}
+	return 0
+}
+
+// The fixed-slot schemes reserve their write phase independently of the
+// data (the slot layout is the worst case the power budget admits), so
+// their floors are the exact phase spans from the PlanWrite bodies and
+// the parallel controller's lookahead covers the whole service time.
+
+func (s *conventional) ServiceFloor(bool) units.Duration {
+	lay := newStaticLayout(s.par.ChipWidthBits, s.par.CurrentReset, s.par.ChipBudget)
+	return units.Duration(lay.slots(s.par.DataUnits())) * s.par.TSet
+}
+
+func (s *dcw) ServiceFloor(bool) units.Duration {
+	lay := newStaticLayout(s.par.ChipWidthBits, s.par.CurrentReset, s.par.ChipBudget)
+	return s.par.TRead + units.Duration(lay.slots(s.par.DataUnits()))*s.par.TSet
+}
+
+func (s *fnw) ServiceFloor(bool) units.Duration {
+	lay := newStaticLayout(s.par.ChipWidthBits/2, s.par.CurrentReset, s.par.ChipBudget)
+	return s.par.TRead + units.Duration(lay.slots(s.par.DataUnits()))*s.par.TSet
+}
+
+func (s *twoStage) ServiceFloor(bool) units.Duration {
+	nu := s.par.DataUnits()
+	w := s.par.ChipWidthBits
+	n0 := newStaticLayout(w, s.par.CurrentReset, s.par.ChipBudget).slots(nu)
+	n1 := newStaticLayout(w/2, s.par.CurrentSet, s.par.ChipBudget).slots(nu)
+	return units.Duration(n0)*s.par.TReset + units.Duration(n1)*s.par.TSet
+}
+
+func (s *threeStage) ServiceFloor(bool) units.Duration {
+	nu := s.par.DataUnits()
+	w := s.par.ChipWidthBits
+	n0 := newStaticLayout(w/2, s.par.CurrentReset, s.par.ChipBudget).slots(nu)
+	n1 := newStaticLayout(w/2, s.par.CurrentSet, s.par.ChipBudget).slots(nu)
+	return s.par.TRead + units.Duration(n0)*s.par.TReset + units.Duration(n1)*s.par.TSet
+}
+
+// ServiceFloor implements ServiceFloorer. The minimizer's encoding can
+// hide a logical change from the inner scheme (the tag flips instead),
+// so the inner bound is taken at changed=false; the decorator itself
+// always forces the read phase, and a hidden change still costs a tag
+// pulse of at least TReset.
+func (s *flipMin) ServiceFloor(changed bool) units.Duration {
+	own := s.par.TRead
+	if changed {
+		own += s.par.TReset
+	}
+	if inner := FloorOf(s.inner, s.par, false); inner > own {
+		return inner
+	}
+	return own
+}
+
+// ServiceFloor implements ServiceFloorer: remapping only ever adds
+// migration latency on top of the inner plan, so the inner bound holds.
+func (s *remapper) ServiceFloor(changed bool) units.Duration {
+	return FloorOf(s.inner, s.par, changed)
+}
+
+// ServiceFloor implements ServiceFloorer: any candidate may plan the
+// write, so only the weakest candidate bound is sound.
+func (s *adaptive) ServiceFloor(changed bool) units.Duration {
+	floor := FloorOf(s.cands[0], s.par, changed)
+	for _, c := range s.cands[1:] {
+		if f := FloorOf(c, s.par, changed); f < floor {
+			floor = f
+		}
+	}
+	return floor
+}

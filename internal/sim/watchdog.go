@@ -101,7 +101,13 @@ func (e *Engine) RunContext(ctx context.Context, wd Watchdog) error {
 	if wd.MaxSimTime > 0 {
 		deadline = e.now.Add(wd.MaxSimTime)
 	}
-	var executed uint64
+	// Count executed events as a delta of the engine's processed counter
+	// rather than counting Step calls: a Step that merely resolves a lazy
+	// event (AtLazy re-queue) does not advance e.events, so budgets,
+	// heartbeats and cancellation polls fire at exactly the same points
+	// whether or not lazy events are in play.
+	start := e.events
+	var lastBeat uint64
 	q := e.queue()
 	for {
 		if e.stopErr != nil {
@@ -111,6 +117,7 @@ func (e *Engine) RunContext(ctx context.Context, wd Watchdog) error {
 		if !ok {
 			return nil
 		}
+		executed := e.events - start
 		if wd.MaxEvents > 0 && executed >= wd.MaxEvents {
 			return &BudgetError{Events: executed, MaxEvents: wd.MaxEvents, Now: e.now}
 		}
@@ -118,8 +125,9 @@ func (e *Engine) RunContext(ctx context.Context, wd Watchdog) error {
 			return &BudgetError{Events: executed, Now: e.now, Deadline: deadline, SimTime: true}
 		}
 		e.Step()
-		executed++
-		if executed%checkEvery == 0 {
+		executed = e.events - start
+		if executed != lastBeat && executed%checkEvery == 0 {
+			lastBeat = executed
 			if wd.Heartbeat != nil {
 				wd.Heartbeat(Progress{Events: executed, Now: e.now, Pending: q.len()})
 			}

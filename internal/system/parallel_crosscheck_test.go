@@ -1,0 +1,206 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"tetriswrite/internal/guard"
+	"tetriswrite/internal/registry"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/telemetry"
+	"tetriswrite/internal/tetris"
+	"tetriswrite/internal/units"
+	"tetriswrite/internal/workload"
+)
+
+// parallelCheckNames is the composition set the parallel-engine gate
+// sweeps: every base scheme plus one instance of each decorator and the
+// adaptive meta-scheme. Together they exercise every ServiceFloor
+// implementation — exact fixed-slot floors, the content-dependent Tetris
+// floor, FlipMin's changed=false inner bound, decorator forwarding, and
+// the adaptive min-over-candidates bound.
+var parallelCheckNames = []string{
+	"conventional", "dcw", "fnw", "twostage", "threestage", "tetris",
+	"dcw+flipmin", "dcw+remap", "tetris+remap", "dcw+mlc", "adaptive",
+}
+
+func parallelFactory(t *testing.T, name string) schemes.Factory {
+	t.Helper()
+	switch name {
+	case "conventional":
+		return schemes.NewConventional
+	case "dcw":
+		return schemes.NewDCW
+	case "fnw":
+		return schemes.NewFlipNWrite
+	case "twostage":
+		return schemes.NewTwoStage
+	case "threestage":
+		return schemes.NewThreeStage
+	case "tetris":
+		return tetris.New
+	}
+	e, err := registry.Default().Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Factory
+}
+
+// TestEngineModeCrossCheck is the acceptance gate for the deterministic
+// parallel engine: over the full 8-workload sweep and every scheme
+// composition, EngineParallel must produce a Result bit-identical to the
+// serial engine. The parallel path defers scheme planning to per-bank
+// worker goroutines under conservative-lookahead completion events, so
+// any soundness gap — a floor above the real service time, an
+// out-of-order stat commit, a worker touching shared state — shows up
+// here as a DeepEqual failure (and, under -race, as a report). CI runs
+// this sweep with the race detector enabled.
+func TestEngineModeCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload x scheme x engine-mode sweep")
+	}
+	for _, prof := range workload.Profiles() {
+		for _, name := range parallelCheckNames {
+			prof, name := prof, name
+			t.Run(prof.Name+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				factory := parallelFactory(t, name)
+				cfg := Config{InstrBudget: 60_000, Seed: 7}
+				cfg.EngineMode = sim.EngineSerial
+				serial, err := Run(prof, factory, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.EngineMode = sim.EngineParallel
+				par, err := Run(prof, factory, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("serial and parallel engines diverged:\nserial:   %+v\nparallel: %+v", serial, par)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineModeCrossCheckGuarded repeats the cross-check with the
+// invariant guard enabled (cheap checks): plan validation runs on the
+// bank workers via ValidateWritePlan and is committed in issue order, so
+// guarded statistics — and the absence of violations — must match the
+// serial in-line checks exactly.
+func TestEngineModeCrossCheckGuarded(t *testing.T) {
+	for _, wl := range []string{"canneal", "vips"} {
+		prof, err := workload.ProfileByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"dcw", "tetris", "adaptive"} {
+			t.Run(wl+"/"+name, func(t *testing.T) {
+				factory := parallelFactory(t, name)
+				cfg := Config{InstrBudget: 30_000, Seed: 7}
+				cfg.Guard = guard.Config{Enabled: true}
+				cfg.EngineMode = sim.EngineSerial
+				serial, err := Run(prof, factory, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.EngineMode = sim.EngineParallel
+				par, err := Run(prof, factory, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("guarded serial and parallel runs diverged:\nserial:   %+v\nparallel: %+v", serial, par)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineModeCrossCheckTelemetry verifies the sampler's consistent-cut
+// contract: with an epoch sampler attached, every retained epoch row must
+// be bit-identical between serial and parallel runs. The parallel
+// controller registers its Sync barrier as the sampler's preSample hook;
+// without it, an epoch boundary could observe a bank whose write was
+// issued but not yet committed. Results are compared with the Telemetry
+// handle nulled (it embeds the engine, whose internal queue cursors may
+// legitimately differ after lazy-event re-pushes) — the exported series
+// are the observable surface.
+func TestEngineModeCrossCheckTelemetry(t *testing.T) {
+	prof, err := workload.ProfileByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode sim.EngineMode) (Result, *telemetry.Sampler) {
+		cfg := Config{InstrBudget: 30_000, Seed: 7}
+		cfg.Epoch = 2 * units.Microsecond
+		cfg.EngineMode = mode
+		res, err := Run(prof, tetris.New, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Telemetry
+		if s == nil {
+			t.Fatal("no sampler attached")
+		}
+		res.Telemetry = nil
+		return res, s
+	}
+	serial, ss := run(sim.EngineSerial)
+	par, ps := run(sim.EngineParallel)
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("results diverged:\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+	if !reflect.DeepEqual(ss.SeriesNames(), ps.SeriesNames()) {
+		t.Fatalf("series names diverged: %v vs %v", ss.SeriesNames(), ps.SeriesNames())
+	}
+	if !reflect.DeepEqual(ss.Times(), ps.Times()) {
+		t.Fatalf("epoch timestamps diverged: %v vs %v", ss.Times(), ps.Times())
+	}
+	if ss.Epochs() < 2 {
+		t.Fatalf("want >= 2 epochs to make the cut meaningful, got %d", ss.Epochs())
+	}
+	for _, name := range ss.SeriesNames() {
+		if !reflect.DeepEqual(ss.Series(name), ps.Series(name)) {
+			t.Errorf("series %q diverged:\nserial:   %v\nparallel: %v", name, ss.Series(name), ps.Series(name))
+		}
+	}
+}
+
+// TestEngineModeFaultFallback checks the serial-fallback latch: fault
+// injection forces VerifyWrites, which reshapes plans after issue, so a
+// parallel-mode run must silently latch back to serial planning and stay
+// bit-identical — including the injector and sparing statistics.
+func TestEngineModeFaultFallback(t *testing.T) {
+	prof := faultProfile(t)
+	base := faultConfig()
+	base.EngineMode = sim.EngineSerial
+	serial, err := Run(prof, tetris.New, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.EngineMode = sim.EngineParallel
+	par, err := Run(prof, tetris.New, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("fault-config fallback diverged:\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// TestEngineModeRejectsUnknown covers the config validation path.
+func TestEngineModeRejectsUnknown(t *testing.T) {
+	prof, err := workload.ProfileByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{InstrBudget: 1000}
+	cfg.EngineMode = sim.EngineMode("turbo")
+	if _, err := Run(prof, schemes.NewDCW, cfg); err == nil {
+		t.Fatal("want error for unknown engine mode")
+	}
+}

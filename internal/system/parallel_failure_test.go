@@ -1,0 +1,183 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"tetriswrite/internal/guard"
+	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/schemes"
+	"tetriswrite/internal/sim"
+	"tetriswrite/internal/workload"
+)
+
+// These tests pin the parallel engine's failure paths to the serial
+// engine's: an aborted or violating run must surface the same typed
+// error and the same partial Result whether planning ran in-line or on
+// bank workers. The abort machinery (watchdog, context polls, guard
+// stop) only observes executed events — lazy-event re-pushes are
+// invisible to it — so the two modes trip at identical points.
+
+func runBothModes(t *testing.T, ctx context.Context, prof workload.Profile, factory schemes.Factory, cfg Config) (serial, par Result, serialErr, parErr error) {
+	t.Helper()
+	cfg.EngineMode = sim.EngineSerial
+	serial, serialErr = RunCtx(ctx, prof, factory, cfg)
+	cfg.EngineMode = sim.EngineParallel
+	par, parErr = RunCtx(ctx, prof, factory, cfg)
+	return
+}
+
+// TestParallelMaxEventsTrip: the event-budget watchdog aborts both modes
+// after the same number of executed events, with the same
+// *sim.BudgetError and bit-identical partial statistics — the harness
+// drains in-flight bank workers (ctrl.Close) before collecting.
+func TestParallelMaxEventsTrip(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	cfg := smallConfig()
+	cfg.MaxEvents = 5_000
+	serial, par, serialErr, parErr := runBothModes(t, context.Background(), prof, schemes.NewDCW, cfg)
+	var sbe, pbe *sim.BudgetError
+	if !errors.As(serialErr, &sbe) || !errors.As(parErr, &pbe) {
+		t.Fatalf("errors = %v / %v, want *sim.BudgetError from both modes", serialErr, parErr)
+	}
+	if !reflect.DeepEqual(sbe, pbe) {
+		t.Errorf("budget errors diverged:\nserial:   %+v\nparallel: %+v", sbe, pbe)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("partial results diverged:\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+	if par.Ctrl.Writes == 0 {
+		t.Error("no writes before the trip; the test exercised nothing")
+	}
+}
+
+// TestParallelContextCancel: a mid-run cancellation — triggered from a
+// heartbeat so it lands at the same executed-event count in both modes —
+// yields the same *RunError chain and bit-identical partial results.
+func TestParallelContextCancel(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	run := func(mode sim.EngineMode) (Result, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg := smallConfig()
+		cfg.EngineMode = mode
+		cfg.Heartbeat = func(p sim.Progress) {
+			if p.Events >= 4_000 {
+				cancel()
+			}
+		}
+		return RunCtx(ctx, prof, schemes.NewDCW, cfg)
+	}
+	serial, serialErr := run(sim.EngineSerial)
+	par, parErr := run(sim.EngineParallel)
+	for _, err := range []error{serialErr, parErr} {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in chain", err)
+		}
+		var re *RunError
+		if !errors.As(err, &re) || re.Fp.Workload != "vips" {
+			t.Fatalf("fingerprint wrong: %v", err)
+		}
+	}
+	var sre, pre *RunError
+	errors.As(serialErr, &sre)
+	errors.As(parErr, &pre)
+	if sre.Fp != pre.Fp {
+		t.Errorf("abort fingerprints diverged: %+v vs %+v", sre.Fp, pre.Fp)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("partial results diverged:\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// bankCorruptingScheme plans correctly until a write lands on a chosen
+// bank, then collapses that plan's pulses to a single instant — an
+// over-budget burst only the guard can catch, placed off bank zero so
+// the violating plan is validated on a non-primary worker.
+type bankCorruptingScheme struct {
+	schemes.Scheme
+	banks int
+	bank  int
+}
+
+func (s bankCorruptingScheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
+	p := s.Scheme.PlanWrite(addr, old, new)
+	if int(addr)%s.banks != s.bank || len(p.Pulses) == 0 {
+		return p
+	}
+	for i := range p.Pulses {
+		p.Pulses[i].Start = 0
+	}
+	w := p.TSet
+	if p.TReset > w {
+		w = p.TReset
+	}
+	p.Write = w
+	return p
+}
+
+// TestParallelGuardViolationNonZeroBank: a plan that violates the power
+// budget on bank 3 stops both modes with the same *guard.ViolationError
+// — same kind, detail, and fingerprint cycle. The parallel path
+// validates the plan on bank 3's worker and commits the verdict in issue
+// order, stamping the violation at the plan's issue time exactly like
+// the serial in-line check.
+func TestParallelGuardViolationNonZeroBank(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	cfg := smallConfig()
+	cfg.InstrBudget = 50_000
+	cfg.Guard = guard.Config{Enabled: true}
+	banks := cfg.Params.NumBanks
+	if banks < 4 {
+		t.Fatalf("default params have %d banks, test wants >= 4", banks)
+	}
+	factory := func(par pcm.Params) schemes.Scheme {
+		return bankCorruptingScheme{Scheme: schemes.NewDCW(par), banks: banks, bank: 3}
+	}
+	serial, par, serialErr, parErr := runBothModes(t, context.Background(), prof, factory, cfg)
+	var sv, pv *guard.ViolationError
+	if !errors.As(serialErr, &sv) || !errors.As(parErr, &pv) {
+		t.Fatalf("errors = %v / %v, want *guard.ViolationError from both modes", serialErr, parErr)
+	}
+	if !reflect.DeepEqual(sv, pv) {
+		t.Errorf("violations diverged:\nserial:   %+v\nparallel: %+v", sv, pv)
+	}
+	if sv.Kind != guard.KindPower || sv.Fp.Cycle <= 0 {
+		t.Errorf("unexpected violation: %+v", sv)
+	}
+	// Both partial results carry the guard counters up to the stop.
+	if serial.Guard == nil || par.Guard == nil {
+		t.Fatalf("partial results missing guard stats: %+v / %+v", serial.Guard, par.Guard)
+	}
+	if serial.Workload != par.Workload || serial.Scheme != par.Scheme {
+		t.Errorf("partial result labels diverged: %s/%s vs %s/%s",
+			serial.Workload, serial.Scheme, par.Workload, par.Scheme)
+	}
+}
+
+// TestParallelPanicBecomesError: a scheme panic on a bank worker is
+// re-raised on the coordinator during the issue-order commit and
+// surfaces as the same *PanicError a serial run produces, with the bank
+// workers joined (the deferred ctrl.Close) rather than leaked.
+func TestParallelPanicBecomesError(t *testing.T) {
+	prof, _ := workload.ProfileByName("vips")
+	cfg := smallConfig()
+	cfg.InstrBudget = 50_000
+	cfg.EngineMode = sim.EngineParallel
+	factory := func(par pcm.Params) schemes.Scheme {
+		return &panicScheme{Scheme: schemes.NewDCW(par), n: 3}
+	}
+	_, err := RunCtx(context.Background(), prof, factory, cfg)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Value != "synthetic scheme bug" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if pe.Fp.Workload != "vips" || pe.Fp.Scheme != "dcw" {
+		t.Errorf("fingerprint wrong: %+v", pe.Fp)
+	}
+}

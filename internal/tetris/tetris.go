@@ -79,7 +79,7 @@ func NewWithOptions(par pcm.Params, opt Options) schemes.Scheme {
 	return &scheme{par: par, opt: opt, flips: linestore.NewStore(1)}
 }
 
-func (s *scheme) Name() string               { return "tetris" }
+func (s *scheme) Name() string { return "tetris" }
 
 // FlipTags implements schemes.FlipTagReader: the line's inversion tags,
 // bit u*NumChips+c, zero when the line was never written.
@@ -90,6 +90,18 @@ func (s *scheme) FlipTags(addr pcm.LineAddr) uint64 {
 	return 0
 }
 func (s *scheme) NeedsReadBeforeWrite() bool { return true }
+
+// ServiceFloor implements schemes.ServiceFloorer. Tetris compresses the
+// write phase by content, so only the fixed read and analysis stages —
+// plus one minimum-length pulse when the line changes — can be promised
+// ahead of planning.
+func (s *scheme) ServiceFloor(changed bool) units.Duration {
+	f := s.par.TRead + s.par.MemClock.Cycles(int64(s.opt.AnalysisCycles))
+	if changed {
+		f += s.par.TReset
+	}
+	return f
+}
 
 func (s *scheme) flipBit(c, u int) uint64 { return 1 << uint(u*s.par.NumChips+c) }
 
