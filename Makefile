@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 # the serial-vs-parallel engine-mode comparison across bank counts, and
 # the long-trace event-engine sweep (timing wheel vs the seed binary
 # heap across pending populations).
-BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkComposedSchemePlanWrite|BenchmarkFullSystemSingle|BenchmarkFullSystemParallel|BenchmarkEngineLongTrace
+BENCHFILTER ?= BenchmarkSchemePlanWrite|BenchmarkComposedSchemePlanWrite|BenchmarkSchemePlanWriteDense|BenchmarkArrayFlipCount|BenchmarkCacheHit|BenchmarkFullSystemSingle|BenchmarkFullSystemParallel|BenchmarkEngineLongTrace
 BENCHCOUNT ?= 3
 
 # Build stamping for `<binary> -version`: ldflags override the

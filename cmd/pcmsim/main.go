@@ -28,6 +28,7 @@ import (
 	"tetriswrite/internal/guard"
 	"tetriswrite/internal/memctrl"
 	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/prof"
 	"tetriswrite/internal/registry"
 	"tetriswrite/internal/schemes"
 	"tetriswrite/internal/sim"
@@ -54,7 +55,7 @@ func main() {
 
 // run executes one simulation with the given arguments; separated from
 // main for testability.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("pcmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -92,6 +93,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		epochStr   = fs.String("epoch", "", "telemetry sampling interval, e.g. 10us (off when empty)")
 		metricsOut = fs.String("metrics-out", "", "directory for telemetry exports: per-series CSV, epochs.jsonl, metrics.prom (needs -epoch)")
 		jsonOut    = fs.Bool("json", false, "print the report as JSON instead of text")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		showVer    = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +104,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, version.String("pcmsim"))
 		return nil
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	// Reject nonsense before it turns into a confusing simulation.
 	switch {

@@ -32,6 +32,7 @@ import (
 	"tetriswrite/internal/exp"
 	"tetriswrite/internal/mlc"
 	"tetriswrite/internal/pcm"
+	"tetriswrite/internal/prof"
 	"tetriswrite/internal/sim"
 	"tetriswrite/internal/stats"
 	"tetriswrite/internal/units"
@@ -49,7 +50,7 @@ func main() {
 
 // run executes the harness with the given arguments; separated from main
 // for testability.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("tetrisbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -81,10 +82,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		crashEvery = fs.Int64("crash-every", 0, "run the crash-consistency sweep: cut power at every Kth pulse boundary of every (workload, scheme) cell, recover, resume, and print the recovery classification table")
 		crashCuts  = fs.Int("crash-cuts", 0, "cap on cut points per cell of the crash sweep, subsampled evenly (0 = 8)")
 
-		epochStr  = fs.String("epoch", "", "attach epoch telemetry to the full-system figures and print the per-scheme summary, e.g. 10us")
-		benchJSON = fs.Bool("bench-json", false, "write a BENCH_<date>.json perf-trajectory artifact and exit")
-		benchDir  = fs.String("bench-dir", ".", "directory for the -bench-json artifact")
-		showVer   = fs.Bool("version", false, "print build version and exit")
+		epochStr   = fs.String("epoch", "", "attach epoch telemetry to the full-system figures and print the per-scheme summary, e.g. 10us")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = fs.Bool("bench-json", false, "write a BENCH_<date>.json perf-trajectory artifact and exit")
+		benchDir   = fs.String("bench-dir", ".", "directory for the -bench-json artifact")
+		showVer    = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +96,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, version.String("tetrisbench"))
 		return nil
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	if *par < 0 {
 		return fmt.Errorf("-parallel %d: worker count cannot be negative", *par)
@@ -331,6 +343,8 @@ func writeBenchArtifact(stdout io.Writer, opt exp.Options, dir string) error {
 		fmt.Fprintf(stdout, "  %-10s %6.3f units/write  %8.1f ns/op  %8.1f verify-ns/write\n",
 			row.Scheme, row.WriteUnits, row.NsPerOp, row.VerifyOverheadNsPerWrite)
 	}
+	fmt.Fprintf(stdout, "  full-system %.0f ns/op, %.0f allocs/op\n",
+		art.FullSystemNsPerOp, art.AllocsPerOp)
 	return nil
 }
 

@@ -179,6 +179,8 @@ func TestRunBenchJSON(t *testing.T) {
 			NsPerOp    float64 `json:"ns_per_op"`
 			VerifyNs   float64 `json:"verify_overhead_ns_per_write"`
 		} `json:"schemes"`
+		FullSystemNs float64 `json:"full_system_ns_per_op"`
+		AllocsPerOp  float64 `json:"allocs_per_op"`
 	}
 	if err := json.Unmarshal(raw, &art); err != nil {
 		t.Fatalf("artifact not valid JSON: %v\n%s", err, raw)
@@ -197,6 +199,10 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	if u := art.Schemes[4].WriteUnits; u <= 0 || u >= 2 {
 		t.Errorf("tetris write units = %v, want in (0, 2)", u)
+	}
+	if art.FullSystemNs <= 0 || art.AllocsPerOp <= 0 {
+		t.Errorf("full-system trajectory point missing: %v ns/op, %v allocs/op",
+			art.FullSystemNs, art.AllocsPerOp)
 	}
 }
 
@@ -284,5 +290,26 @@ func TestBadParallelFlag(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-fig", "13", "-run-timeout", "-1s"}, &out, &errb); err == nil {
 		t.Fatal("negative -run-timeout accepted")
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-table", "2", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }

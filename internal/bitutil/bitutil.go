@@ -23,8 +23,12 @@ func PopCount16(x uint16) int { return bits.OnesCount16(x) }
 // PopCountBytes returns the number of set bits across all bytes of p.
 func PopCountBytes(p []byte) int {
 	n := 0
-	for _, b := range p {
-		n += bits.OnesCount8(b)
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		n += bits.OnesCount64(LoadLE64(p, i))
+	}
+	for ; i < len(p); i++ {
+		n += bits.OnesCount8(p[i])
 	}
 	return n
 }
@@ -43,7 +47,11 @@ func HammingBytes(a, b []byte) int {
 		panic("bitutil: HammingBytes on slices of different length")
 	}
 	n := 0
-	for i := range a {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		n += bits.OnesCount64(LoadLE64(a, i) ^ LoadLE64(b, i))
+	}
+	for ; i < len(a); i++ {
 		n += bits.OnesCount8(a[i] ^ b[i])
 	}
 	return n

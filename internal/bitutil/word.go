@@ -1,0 +1,50 @@
+package bitutil
+
+// Word-parallel companions to the per-cell primitives: a cache line whose
+// chips are x16 parts lays its 16-bit chip slices out as consecutive
+// little-endian words, so one uint64 load covers four (chip, unit) cells
+// and one XOR+popcount covers 64 cells. The hot read paths (DCW diffing,
+// Flip-N-Write tag checks, the Tetris read stage) use these to skip
+// unchanged cells four at a time instead of re-deriving them one by one.
+
+// LoadLE64 reads the uint64 at byte offset off of p, little-endian: the
+// four consecutive 16-bit chip slices 4*(off/8) .. 4*(off/8)+3.
+func LoadLE64(p []byte, off int) uint64 {
+	_ = p[off+7] // one bounds check for all eight bytes
+	return uint64(p[off]) | uint64(p[off+1])<<8 |
+		uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
+		uint64(p[off+4])<<32 | uint64(p[off+5])<<40 |
+		uint64(p[off+6])<<48 | uint64(p[off+7])<<56
+}
+
+// StoreLE64 writes w at byte offset off of p, little-endian — the inverse
+// of LoadLE64.
+func StoreLE64(p []byte, off int, w uint64) {
+	_ = p[off+7]
+	p[off] = byte(w)
+	p[off+1] = byte(w >> 8)
+	p[off+2] = byte(w >> 16)
+	p[off+3] = byte(w >> 24)
+	p[off+4] = byte(w >> 32)
+	p[off+5] = byte(w >> 40)
+	p[off+6] = byte(w >> 48)
+	p[off+7] = byte(w >> 56)
+}
+
+// laneTab[n] has lane i (bits 16i..16i+15) all-ones iff bit i of n is set.
+var laneTab = [16]uint64{
+	0x0000_0000_0000_0000, 0x0000_0000_0000_FFFF,
+	0x0000_0000_FFFF_0000, 0x0000_0000_FFFF_FFFF,
+	0x0000_FFFF_0000_0000, 0x0000_FFFF_0000_FFFF,
+	0x0000_FFFF_FFFF_0000, 0x0000_FFFF_FFFF_FFFF,
+	0xFFFF_0000_0000_0000, 0xFFFF_0000_0000_FFFF,
+	0xFFFF_0000_FFFF_0000, 0xFFFF_0000_FFFF_FFFF,
+	0xFFFF_FFFF_0000_0000, 0xFFFF_FFFF_0000_FFFF,
+	0xFFFF_FFFF_FFFF_0000, 0xFFFF_FFFF_FFFF_FFFF,
+}
+
+// LaneMask16 expands the low four bits of nib into 16-bit lanes of ones:
+// lane i is 0xFFFF iff bit i of nib is set. XORing a packed cell word
+// with LaneMask16 of its flip-tag nibble decodes (or encodes) all four
+// cells' inversion coding in one operation.
+func LaneMask16(nib uint64) uint64 { return laneTab[nib&0xF] }

@@ -67,62 +67,114 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-type line struct {
-	tag   int64
-	dirty bool
-	data  []byte
-}
-
-// level is one set-associative array. Entries within a set are kept in
-// LRU order: index 0 is most recently used.
+// level is one set-associative array in structure-of-arrays layout: one
+// flat tag array, one flat data arena and one dirty bitmap, indexed by
+// (set, way). Entries within a set are kept in LRU order by permuting
+// the rank vectors (tags plus way indices — 9 bytes per line) while the
+// line data stays put in its slot, so a hit is a single set-indexed
+// probe over contiguous tags and a promotion never moves line payloads.
 type level struct {
-	cfg  LevelConfig
-	sets [][]*line
-	st   Stats
+	cfg   LevelConfig
+	nsets int
+	st    Stats
+
+	tags  []int64 // nsets*Ways, rank-ordered per set (rank 0 = MRU)
+	way   []uint8 // nsets*Ways, rank -> data slot within the set
+	used  []uint8 // per set: ranks occupied
+	dirty []bool  // per (set, way) data slot
+	data  []byte  // nsets*Ways*LineBytes, per (set, way) data slot
+
+	// victimBuf carries an evicted line's payload out of insert — the
+	// new line overwrites the victim's slot in place. One buffer per
+	// level is enough: a write-back cascade touches each level once.
+	victimBuf []byte
 }
 
 func newLevel(cfg LevelConfig) (*level, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Ways > 255 {
+		return nil, fmt.Errorf("cache %s: more than 255 ways", cfg.Name)
+	}
 	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
-	return &level{cfg: cfg, sets: make([][]*line, nsets)}, nil
+	slots := nsets * cfg.Ways
+	return &level{
+		cfg:       cfg,
+		nsets:     nsets,
+		tags:      make([]int64, slots),
+		way:       make([]uint8, slots),
+		used:      make([]uint8, nsets),
+		dirty:     make([]bool, slots),
+		data:      make([]byte, slots*cfg.LineBytes),
+		victimBuf: make([]byte, cfg.LineBytes),
+	}, nil
 }
 
-func (l *level) setOf(addr pcm.LineAddr) int   { return int(int64(addr) % int64(len(l.sets))) }
-func (l *level) tagOf(addr pcm.LineAddr) int64 { return int64(addr) / int64(len(l.sets)) }
+func (l *level) setOf(addr pcm.LineAddr) int   { return int(int64(addr) % int64(l.nsets)) }
+func (l *level) tagOf(addr pcm.LineAddr) int64 { return int64(addr) / int64(l.nsets) }
 
-// lookup returns the line and promotes it to MRU, or nil on miss.
-func (l *level) lookup(addr pcm.LineAddr) *line {
-	set := l.sets[l.setOf(addr)]
+// slotData returns the payload of data slot w of set si.
+func (l *level) slotData(si int, w uint8) []byte {
+	off := (si*l.cfg.Ways + int(w)) * l.cfg.LineBytes
+	return l.data[off : off+l.cfg.LineBytes : off+l.cfg.LineBytes]
+}
+
+// lookup probes the line's set and returns its (set, slot) pair,
+// promoting it to MRU, or ok=false on miss. The tag scan runs over the
+// set's contiguous rank-ordered tag window — one bounds check, no
+// pointer chasing.
+func (l *level) lookup(addr pcm.LineAddr) (si int, w uint8, ok bool) {
+	si = l.setOf(addr)
 	tag := l.tagOf(addr)
-	for i, ln := range set {
-		if ln.tag == tag {
-			copy(set[1:i+1], set[:i])
-			set[0] = ln
+	base := si * l.cfg.Ways
+	n := int(l.used[si])
+	tags := l.tags[base : base+n]
+	for r := range tags {
+		if tags[r] == tag {
+			w = l.way[base+r]
+			if r > 0 {
+				copy(l.tags[base+1:base+r+1], l.tags[base:base+r])
+				copy(l.way[base+1:base+r+1], l.way[base:base+r])
+				l.tags[base] = tag
+				l.way[base] = w
+			}
 			l.st.Hits++
-			return ln
+			return si, w, true
 		}
 	}
 	l.st.Misses++
-	return nil
+	return 0, 0, false
 }
 
-// insert allocates a line (MRU) and returns the evicted victim, if any.
-func (l *level) insert(addr pcm.LineAddr, data []byte, dirty bool) (victimAddr pcm.LineAddr, victim *line) {
+// insert allocates a line (MRU), copying data into the claimed slot. An
+// evicted victim is reported with its payload moved to the level's
+// victim buffer (valid until the next insert on this level).
+func (l *level) insert(addr pcm.LineAddr, data []byte, dirty bool) (victimAddr pcm.LineAddr, victimData []byte, victimDirty, evicted bool) {
 	si := l.setOf(addr)
-	set := l.sets[si]
-	ln := &line{tag: l.tagOf(addr), dirty: dirty, data: append([]byte(nil), data...)}
-	if len(set) < l.cfg.Ways {
-		l.sets[si] = append([]*line{ln}, set...)
-		return 0, nil
+	base := si * l.cfg.Ways
+	n := int(l.used[si])
+	var w uint8
+	if n < l.cfg.Ways {
+		w = uint8(n) // slots are claimed in insertion order
+		l.used[si] = uint8(n + 1)
+	} else {
+		// Reuse the LRU victim's slot, carrying its payload out first.
+		vw := l.way[base+n-1]
+		victimAddr = pcm.LineAddr(l.tags[base+n-1]*int64(l.nsets) + int64(si))
+		copy(l.victimBuf, l.slotData(si, vw))
+		victimData, victimDirty, evicted = l.victimBuf, l.dirty[base+int(vw)], true
+		l.st.Evictions++
+		w = vw
+		n--
 	}
-	victim = set[len(set)-1]
-	copy(set[1:], set[:len(set)-1])
-	set[0] = ln
-	l.st.Evictions++
-	victimAddr = pcm.LineAddr(victim.tag*int64(len(l.sets)) + int64(si))
-	return victimAddr, victim
+	copy(l.tags[base+1:base+n+1], l.tags[base:base+n])
+	copy(l.way[base+1:base+n+1], l.way[base:base+n])
+	l.tags[base] = l.tagOf(addr)
+	l.way[base] = w
+	l.dirty[base+int(w)] = dirty
+	copy(l.slotData(si, w), data)
+	return victimAddr, victimData, victimDirty, evicted
 }
 
 // Hierarchy is the three-level cache stack in front of the memory
@@ -201,10 +253,10 @@ func (h *Hierarchy) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, dat
 	var lat units.Duration
 	for i, l := range h.levels {
 		lat += l.cfg.Latency
-		if ln := l.lookup(addr); ln != nil {
+		if si, w, ok := l.lookup(addr); ok {
 			// Fill the levels above (inclusive-ish: keeps upper levels
 			// warm like the common inclusive hierarchy).
-			data := append([]byte(nil), ln.data...)
+			data := append([]byte(nil), l.slotData(si, w)...)
 			for j := i - 1; j >= 0; j-- {
 				h.fill(j, addr, data, false)
 			}
@@ -229,6 +281,9 @@ func (h *Hierarchy) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, dat
 		}
 	}
 	return h.mem.SubmitRead(addr, func(at units.Time, data []byte) {
+		// The controller's buffer is only valid for this callback; the
+		// copy feeds both the fills and the deferred completion.
+		data = append([]byte(nil), data...)
 		h.fillAll(addr, data, false)
 		done := at.Add(lat)
 		h.eng.At(done, func() { onDone(done, data) })
@@ -242,10 +297,12 @@ func (h *Hierarchy) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at u
 	if len(h.wbBuf) >= h.wbMax {
 		return false
 	}
-	if ln := h.levels[0].lookup(addr); ln != nil {
-		wasDirty := ln.dirty
-		copy(ln.data, data)
-		ln.dirty = true
+	if si, w, ok := h.levels[0].lookup(addr); ok {
+		l := h.levels[0]
+		di := si*l.cfg.Ways + int(w)
+		wasDirty := l.dirty[di]
+		copy(l.slotData(si, w), data)
+		l.dirty[di] = true
 		if !wasDirty && h.OnDirty != nil {
 			h.OnDirty(addr)
 		}
@@ -280,24 +337,29 @@ func (h *Hierarchy) fillAll(addr pcm.LineAddr, data []byte, dirty bool) {
 }
 
 // fill inserts a line into level i, cascading any dirty victim downward.
+// The victim's payload lives in level i's victim buffer, which stays
+// valid across the cascade because each level of the recursion only
+// inserts into the level below it.
 func (h *Hierarchy) fill(i int, addr pcm.LineAddr, data []byte, dirty bool) {
-	vAddr, victim := h.levels[i].insert(addr, data, dirty)
-	if victim == nil || !victim.dirty {
+	vAddr, vData, vDirty, evicted := h.levels[i].insert(addr, data, dirty)
+	if !evicted || !vDirty {
 		return
 	}
 	h.levels[i].st.WriteBacks++
 	if i+1 < len(h.levels) {
 		// Install into the next level as dirty (updating in place on hit).
-		if ln := h.levels[i+1].lookup(vAddr); ln != nil {
-			copy(ln.data, victim.data)
-			ln.dirty = true
+		if si, w, ok := h.levels[i+1].lookup(vAddr); ok {
+			l := h.levels[i+1]
+			copy(l.slotData(si, w), vData)
+			l.dirty[si*l.cfg.Ways+int(w)] = true
 			return
 		}
-		h.fill(i+1, vAddr, victim.data, true)
+		h.fill(i+1, vAddr, vData, true)
 		return
 	}
-	// Last level: the victim leaves the hierarchy for PCM.
-	h.pushWriteBack(wbEntry{addr: vAddr, data: victim.data})
+	// Last level: the victim leaves the hierarchy for PCM; it must own
+	// its bytes — the victim buffer is recycled on the next eviction.
+	h.pushWriteBack(wbEntry{addr: vAddr, data: append([]byte(nil), vData...)})
 }
 
 func (h *Hierarchy) pushWriteBack(wb wbEntry) {
@@ -354,10 +416,11 @@ func (h *Hierarchy) drainWaiters() {
 // memory copy.
 func (h *Hierarchy) IsDirty(addr pcm.LineAddr) bool {
 	for _, l := range h.levels {
-		set := l.sets[l.setOf(addr)]
+		si := l.setOf(addr)
 		tag := l.tagOf(addr)
-		for _, ln := range set {
-			if ln.tag == tag && ln.dirty {
+		base := si * l.cfg.Ways
+		for r := 0; r < int(l.used[si]); r++ {
+			if l.tags[base+r] == tag && l.dirty[base+int(l.way[base+r])] {
 				return true
 			}
 		}
@@ -382,11 +445,13 @@ func (h *Hierarchy) Flush(force func(addr pcm.LineAddr, data []byte)) int {
 	// addresses already flushed.
 	seen := linestore.NewSet()
 	for _, l := range h.levels {
-		for si, set := range l.sets {
-			for _, ln := range set {
-				addr := pcm.LineAddr(ln.tag*int64(len(l.sets)) + int64(si))
-				if seen.Add(int64(addr)) && ln.dirty {
-					force(addr, ln.data)
+		for si := 0; si < l.nsets; si++ {
+			base := si * l.cfg.Ways
+			for r := 0; r < int(l.used[si]); r++ {
+				w := l.way[base+r]
+				addr := pcm.LineAddr(l.tags[base+r]*int64(l.nsets) + int64(si))
+				if seen.Add(int64(addr)) && l.dirty[base+int(w)] {
+					force(addr, l.slotData(si, w))
 					n++
 				}
 			}

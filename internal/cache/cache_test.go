@@ -132,16 +132,16 @@ func TestLRUOrder(t *testing.T) {
 	}
 	mk := func(v byte) []byte { d := make([]byte, 64); d[0] = v; return d }
 	l.insert(0, mk(1), false) // A (set 0)
-	l.insert(0+pcm.LineAddr(len(l.sets)), mk(2), false)
-	if l.lookup(0) == nil {
+	l.insert(0+pcm.LineAddr(l.nsets), mk(2), false)
+	if _, _, ok := l.lookup(0); !ok {
 		t.Fatal("A missing")
 	}
-	vAddr, victim := l.insert(0+pcm.LineAddr(2*len(l.sets)), mk(3), false)
-	if victim == nil {
+	vAddr, _, _, evicted := l.insert(0+pcm.LineAddr(2*l.nsets), mk(3), false)
+	if !evicted {
 		t.Fatal("no eviction from full set")
 	}
-	if vAddr != pcm.LineAddr(len(l.sets)) {
-		t.Errorf("evicted %d, want B (LRU) at %d", vAddr, len(l.sets))
+	if vAddr != pcm.LineAddr(l.nsets) {
+		t.Errorf("evicted %d, want B (LRU) at %d", vAddr, l.nsets)
 	}
 }
 
@@ -311,9 +311,9 @@ func TestCapacityNeverExceeded(t *testing.T) {
 			h.SubmitRead(addr, func(units.Time, []byte) {})
 		}
 		for _, l := range h.levels {
-			for si, set := range l.sets {
-				if len(set) > l.cfg.Ways {
-					t.Fatalf("%s set %d holds %d lines, ways=%d", l.cfg.Name, si, len(set), l.cfg.Ways)
+			for si := 0; si < l.nsets; si++ {
+				if int(l.used[si]) > l.cfg.Ways {
+					t.Fatalf("%s set %d holds %d lines, ways=%d", l.cfg.Name, si, l.used[si], l.cfg.Ways)
 				}
 			}
 		}

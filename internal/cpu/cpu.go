@@ -50,12 +50,25 @@ type Core struct {
 	onDone func()
 
 	retryBackoff units.Duration
+
+	// The core is strictly serial — at most one continuation is ever
+	// outstanding — so its event callbacks are prebound once here and
+	// reused for every operation, keeping the steady-state step loop
+	// allocation-free. op/issueSince carry the in-flight operation the
+	// continuations act on.
+	op         workload.Op
+	issueSince units.Time
+	thinkFn    func()
+	budgetFn   func()
+	readDoneFn func(at units.Time, data []byte)
+	retryRdFn  func()
+	retryWrFn  func()
 }
 
 // New creates a core. budget is the number of instructions to retire;
 // onDone runs when the budget is reached.
 func New(eng *sim.Engine, clock units.Clock, src OpSource, mem MemPort, budget int64, onDone func()) *Core {
-	return &Core{
+	c := &Core{
 		eng:          eng,
 		clock:        clock,
 		src:          src,
@@ -64,6 +77,21 @@ func New(eng *sim.Engine, clock units.Clock, src OpSource, mem MemPort, budget i
 		onDone:       onDone,
 		retryBackoff: 16 * clock.Period(),
 	}
+	c.thinkFn = func() {
+		c.stats.Retired += c.op.Think
+		c.issue(c.op)
+	}
+	c.budgetFn = func() {
+		c.stats.Retired = c.budget
+		c.finish()
+	}
+	c.readDoneFn = func(at units.Time, _ []byte) {
+		c.stats.ReadStall += at.Sub(c.issueSince)
+		c.step()
+	}
+	c.retryRdFn = func() { c.issueRead(c.op, c.issueSince) }
+	c.retryWrFn = func() { c.issueWrite(c.op, c.issueSince) }
+	return c
 }
 
 // Start schedules the core's first activity. Call once, before running
@@ -80,41 +108,32 @@ func (c *Core) step() {
 	if c.stats.Finished {
 		return
 	}
-	op := c.src.Next()
-	think := op.Think
+	c.op = c.src.Next()
+	think := c.op.Think
 	if remaining := c.budget - c.stats.Retired; think >= remaining {
 		// The budget retires mid-think: finish without the access.
-		c.eng.After(c.clock.Cycles(remaining), func() {
-			c.stats.Retired = c.budget
-			c.finish()
-		})
+		c.eng.After(c.clock.Cycles(remaining), c.budgetFn)
 		return
 	}
-	c.eng.After(c.clock.Cycles(think), func() {
-		c.stats.Retired += think
-		c.issue(op)
-	})
+	c.eng.After(c.clock.Cycles(think), c.thinkFn)
 }
 
 func (c *Core) issue(op workload.Op) {
+	c.issueSince = c.eng.Now()
 	if op.Write {
-		c.issueWrite(op, c.eng.Now())
+		c.issueWrite(op, c.issueSince)
 		return
 	}
-	c.issueRead(op, c.eng.Now())
+	c.issueRead(op, c.issueSince)
 }
 
 func (c *Core) issueRead(op workload.Op, since units.Time) {
 	c.stats.Reads++
-	ok := c.mem.SubmitRead(op.Addr, func(at units.Time, _ []byte) {
-		c.stats.ReadStall += at.Sub(since)
-		c.step()
-	})
-	if !ok {
+	if !c.mem.SubmitRead(op.Addr, c.readDoneFn) {
 		// Read queue full (rare): back off and retry; the retry does not
 		// recount the read.
 		c.stats.Reads--
-		c.eng.After(c.retryBackoff, func() { c.issueRead(op, since) })
+		c.eng.After(c.retryBackoff, c.retryRdFn)
 	}
 }
 
@@ -127,7 +146,7 @@ func (c *Core) issueWrite(op workload.Op, since units.Time) {
 		return
 	}
 	c.stats.Writes--
-	c.mem.WhenWriteSpace(func() { c.issueWrite(op, since) })
+	c.mem.WhenWriteSpace(c.retryWrFn)
 }
 
 func (c *Core) finish() {

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"tetriswrite/internal/fault"
 	"tetriswrite/internal/system"
+	"tetriswrite/internal/tetris"
 	"tetriswrite/internal/workload"
 )
 
@@ -33,6 +35,16 @@ type BenchArtifact struct {
 	Workload string        `json:"workload"`
 	Writes   int           `json:"writes"`
 	Schemes  []BenchScheme `json:"schemes"`
+	// FullSystemNsPerOp is the end-to-end wall-clock cost of one
+	// full-system simulation in the BenchmarkFullSystemSingle
+	// configuration (canneal under Tetris, 50k instructions), minimum of
+	// a few rounds. Noisy like NsPerOp; for trajectory, not gating.
+	FullSystemNsPerOp float64 `json:"full_system_ns_per_op"`
+	// AllocsPerOp is the heap allocation count of that same run — the
+	// quiet axis of the hot-path work: machine-independent up to GC
+	// scheduling, so a jump here is an allocation regression even when
+	// the wall clock hides it.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // benchReference is the workload the trajectory is measured on; vips is
@@ -74,7 +86,47 @@ func BenchTrajectory(opt Options, date string) (*BenchArtifact, error) {
 		}
 		art.Schemes = append(art.Schemes, row)
 	}
+	art.FullSystemNsPerOp, art.AllocsPerOp, err = measureFullSystem(opt)
+	if err != nil {
+		return nil, err
+	}
 	return art, nil
+}
+
+// measureFullSystem times the BenchmarkFullSystemSingle configuration
+// end to end and counts its heap allocations. One warmup run absorbs
+// lazy initialization; of the measured rounds the fastest wall clock and
+// the matching allocation count are reported.
+func measureFullSystem(opt Options) (nsPerOp, allocsPerOp float64, err error) {
+	prof, err := workload.ProfileByName("canneal")
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := system.Config{Params: opt.Params, InstrBudget: 50_000}
+	run := func() (float64, float64, error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := system.Run(prof, tetris.New, cfg); err != nil {
+			return 0, 0, err
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		runtime.ReadMemStats(&after)
+		return ns, float64(after.Mallocs - before.Mallocs), nil
+	}
+	if _, _, err := run(); err != nil {
+		return 0, 0, fmt.Errorf("full-system bench: %w", err)
+	}
+	for round := 0; round < 3; round++ {
+		ns, allocs, err := run()
+		if err != nil {
+			return 0, 0, fmt.Errorf("full-system bench: %w", err)
+		}
+		if nsPerOp == 0 || ns < nsPerOp {
+			nsPerOp, allocsPerOp = ns, allocs
+		}
+	}
+	return nsPerOp, allocsPerOp, nil
 }
 
 // WriteJSON writes the artifact as indented JSON.

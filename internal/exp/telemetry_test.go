@@ -80,4 +80,10 @@ func TestBenchTrajectory(t *testing.T) {
 		t.Errorf("tetris (%v) not below baseline (%v)",
 			art.Schemes[4].WriteUnits, art.Schemes[0].WriteUnits)
 	}
+	// The end-to-end trajectory point must be populated: a real run takes
+	// time and allocates.
+	if art.FullSystemNsPerOp <= 0 || art.AllocsPerOp <= 0 {
+		t.Errorf("full-system point missing: %v ns/op, %v allocs/op",
+			art.FullSystemNsPerOp, art.AllocsPerOp)
+	}
 }

@@ -120,6 +120,37 @@ func (sh *shard) find(key Addr, h uint64) int {
 	}
 }
 
+// Reserve pre-sizes every shard for about `lines` total inserts, so a
+// store whose final footprint is known up front (a device sized to its
+// workload's address span) skips the doubling-and-rehash ladder that
+// otherwise dominates cold-start insertion. Shards that already hold
+// data or have enough capacity are left alone; lookups and contents are
+// unaffected — only the slot layout (and capacity telemetry) differ
+// from a grown store.
+func (s *Store) Reserve(lines int) {
+	if lines <= 0 {
+		return
+	}
+	perShard := (lines + numShards - 1) / numShards
+	// Capacity such that the grow threshold (3/4 load) is not reached
+	// while inserting perShard keys.
+	want := minSlots
+	for maxLoadDen*(perShard+1) > maxLoadNum*want {
+		want *= 2
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if sh.n > 0 || len(sh.keys) >= want {
+			continue
+		}
+		sh.keys = make([]Addr, want)
+		for i := range sh.keys {
+			sh.keys[i] = emptyKey
+		}
+		sh.words = make([]uint64, want*s.wpl)
+	}
+}
+
 func (sh *shard) grow(wpl int) {
 	newCap := minSlots
 	if len(sh.keys) > 0 {

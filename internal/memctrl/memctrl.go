@@ -158,6 +158,10 @@ type request struct {
 	data     []byte
 	enqueued units.Time
 	onDone   func(at units.Time)
+	// onData is the read-completion callback, stored directly (no
+	// wrapper closure). The data slice it receives is the controller's
+	// shared scratch buffer, valid only for the duration of the call.
+	onData func(at units.Time, data []byte)
 }
 
 // Stats aggregates controller activity. Latencies are measured from
@@ -200,8 +204,13 @@ type Controller struct {
 	cfg Config
 	dev *pcm.Device
 
-	banks  []*bank
-	readQ  []*request
+	banks []*bank
+	// Reads queue per bank (the global FIFO filtered by owning bank —
+	// the scheduler only ever consumed it that way, so the split is
+	// order-identical and turns startReads' global scan into a scan of
+	// the bank's own queue). nreadQ is the global occupancy the 32-entry
+	// queue bound and the depth telemetry are defined over.
+	nreadQ int
 	writeQ []*request
 
 	draining  bool
@@ -256,6 +265,15 @@ type Controller struct {
 	dataFree  [][]byte
 	oldBuf    []byte
 	verifyBuf []byte
+	// readBuf backs read-completion payloads: the device image is read
+	// into it synchronously and handed to the callback, which must copy
+	// if it retains (every in-tree caller consumes it in place).
+	readBuf []byte
+	// readEvFree/writeEvFree recycle completion event structs, each
+	// carrying its own prebound fire closure so arming a read or write
+	// completion costs no allocation.
+	readEvFree  []*readEvent
+	writeEvFree []*writeEvent
 
 	// Deferred-planning (parallel engine) state; see parallel.go. The
 	// mode is latched at the first write, once every hook that could
@@ -279,7 +297,7 @@ func (c *Controller) SetGuard(g *guard.Guard) { c.guard = g }
 
 // guardQueues reports the current queue occupancies to the guard.
 func (c *Controller) guardQueues() {
-	c.guard.CheckQueues(c.eng.Now(), len(c.readQ), len(c.writeQ), c.cfg.ReadQueue, c.cfg.WriteQueue)
+	c.guard.CheckQueues(c.eng.Now(), c.nreadQ, len(c.writeQ), c.cfg.ReadQueue, c.cfg.WriteQueue)
 }
 
 // CrashHook observes the two durability boundaries of every line write
@@ -354,12 +372,15 @@ type bank struct {
 	// adaptive schemes react to load without touching the request path
 	// for everyone else.
 	observer schemes.QueueObserver
-	// write is the in-flight write (or preset), if any; reads maps a
-	// subarray index to its in-flight read. With Subarrays == 1 the two
-	// are mutually exclusive (monolithic bank); with more, reads may
-	// overlap a write in a different subarray.
-	write *request
-	reads map[int]*request
+	// write is the in-flight write (or preset), if any; reads[sub] is
+	// the subarray's in-flight read (nreads counts them). With
+	// Subarrays == 1 the two are mutually exclusive (monolithic bank);
+	// with more, reads may overlap a write in a different subarray.
+	write  *request
+	reads  []*request
+	nreads int
+	// readQ is this bank's slice of the controller's read FIFO.
+	readQ []*request
 	// Write-pausing state: gen invalidates stale completion events after
 	// a pause extends the write; writeEnd is the current scheduled
 	// completion; pausing guards against double-pausing.
@@ -385,7 +406,7 @@ type bank struct {
 }
 
 // idle reports whether nothing at all is in flight on the bank.
-func (b *bank) idle() bool { return b.write == nil && len(b.reads) == 0 }
+func (b *bank) idle() bool { return b.write == nil && b.nreads == 0 }
 
 // New builds a controller over the device using one scheme instance per
 // bank.
@@ -411,7 +432,7 @@ func NewWithSchemes(eng *sim.Engine, dev *pcm.Device, insts []schemes.Scheme, cf
 	cfg.Normalize(par)
 	c := &Controller{eng: eng, par: par, cfg: cfg, dev: dev}
 	for _, s := range insts {
-		b := &bank{scheme: s, reads: make(map[int]*request)}
+		b := &bank{scheme: s, reads: make([]*request, cfg.Subarrays)}
 		b.recycler, _ = b.scheme.(schemes.PlanRecycler)
 		b.observer, _ = b.scheme.(schemes.QueueObserver)
 		c.banks = append(c.banks, b)
@@ -485,8 +506,12 @@ func (c *Controller) subarrayOf(addr pcm.LineAddr) int {
 // SubmitRead enqueues a read. It returns false (and records a stall) if
 // the read queue is full; the caller should retry after other activity,
 // e.g. via WhenWriteSpace or a later event.
+//
+// The data slice handed to onDone is only valid for the duration of the
+// callback — the controller reuses the buffer for later reads — so
+// callers that retain it must copy.
 func (c *Controller) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool {
-	if len(c.readQ) >= c.cfg.ReadQueue {
+	if c.nreadQ >= c.cfg.ReadQueue {
 		c.stats.StallRejects++
 		return false
 	}
@@ -506,16 +531,12 @@ func (c *Controller) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, da
 	req := c.newRequest()
 	req.addr = addr
 	req.enqueued = c.eng.Now()
-	req.onDone = func(at units.Time) {
-		// The buffer is handed to the caller, who may keep it: it cannot
-		// come from a freelist.
-		buf := make([]byte, c.par.LineBytes)
-		c.dev.ReadLine(addr, buf)
-		onDone(at, buf)
-	}
-	c.readQ = append(c.readQ, req)
+	req.onData = onDone
+	b := c.bankOf(addr)
+	b.readQ = append(b.readQ, req)
+	c.nreadQ++
 	c.guardQueues()
-	c.schedule()
+	c.scheduleBank(b)
 	return true
 }
 
@@ -575,14 +596,17 @@ func (c *Controller) SubmitWrite(addr pcm.LineAddr, data []byte, onDone func(at 
 	}
 	c.writeQ = append(c.writeQ, req)
 	c.guardQueues()
-	if len(c.writeQ) >= c.cfg.WriteQueue {
-		// Queue just filled: enter drain mode.
-		if !c.draining {
-			c.draining = true
-			c.stats.Drains++
-		}
+	if len(c.writeQ) >= c.cfg.WriteQueue && !c.draining {
+		// Queue just filled: enter drain mode. The drain makes every
+		// bank write-eligible at once, so this is the one submission
+		// that needs the full sweep.
+		c.draining = true
+		c.stats.Drains++
+		c.schedule()
+		return true
 	}
-	c.schedule()
+	// A queued write can only ever dispatch to its owning bank.
+	c.scheduleBank(c.bankOf(addr))
 	return true
 }
 
@@ -607,7 +631,7 @@ func (c *Controller) WhenIdle(fn func()) {
 }
 
 func (c *Controller) checkIdle() {
-	if len(c.readQ) != 0 || len(c.writeQ) != 0 {
+	if c.nreadQ != 0 || len(c.writeQ) != 0 {
 		return
 	}
 	for _, b := range c.banks {
@@ -628,31 +652,58 @@ func (c *Controller) checkIdle() {
 // draining (or opportunistically, if configured).
 func (c *Controller) schedule() {
 	for _, b := range c.banks {
-		c.startReads(b)
-		if b.write != nil {
-			c.tryPause(b)
-			continue
-		}
-		if !b.idle() {
-			continue
-		}
-		if req := c.pickWrite(b); req != nil {
-			c.startWrite(b, req)
-			continue
-		}
-		c.tryPreset(b)
+		c.scheduleBank1(b)
 	}
 }
 
+// scheduleBank runs the policy for the one bank whose eligibility an
+// event changed. Every other bank is a fixed point — its last schedule
+// pass found nothing startable and none of its inputs moved — so
+// skipping it arms exactly the events the full sweep would. Idle PreSET
+// breaks that argument (tryPreset consults a dirtiness oracle whose
+// answers drift between events, and a sweep on any bank's event can
+// drop stale hints on every idle bank), so preset configurations keep
+// the full sweep.
+func (c *Controller) scheduleBank(b *bank) {
+	if c.cfg.IdlePreset {
+		c.schedule()
+		return
+	}
+	c.scheduleBank1(b)
+}
+
+func (c *Controller) scheduleBank1(b *bank) {
+	c.startReads(b)
+	if b.write != nil {
+		c.tryPause(b)
+		return
+	}
+	if !b.idle() {
+		return
+	}
+	if req := c.pickWrite(b); req != nil {
+		c.startWrite(b, req)
+		return
+	}
+	c.tryPreset(b)
+}
+
 // startReads launches every queued read this bank can service right now.
+// It bails out as soon as the bank is saturated (every subarray busy, or
+// a monolithic bank held by a write), so a busy bank costs O(1) instead
+// of a full queue scan.
 func (c *Controller) startReads(b *bank) {
-	for i := 0; i < len(c.readQ); {
-		r := c.readQ[i]
-		if c.bankOf(r.addr) != b || !c.canRead(b, r.addr) {
+	for i := 0; i < len(b.readQ); {
+		if b.nreads == c.cfg.Subarrays || (b.write != nil && c.cfg.Subarrays <= 1) {
+			return
+		}
+		r := b.readQ[i]
+		if !c.canRead(b, r.addr) {
 			i++
 			continue
 		}
-		c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+		b.readQ = append(b.readQ[:i], b.readQ[i+1:]...)
+		c.nreadQ--
 		c.startRead(b, r)
 	}
 }
@@ -661,7 +712,7 @@ func (c *Controller) startReads(b *bank) {
 // the in-flight write.
 func (c *Controller) canRead(b *bank, addr pcm.LineAddr) bool {
 	sub := c.subarrayOf(addr)
-	if _, busy := b.reads[sub]; busy {
+	if b.reads[sub] != nil {
 		return false
 	}
 	if b.write == nil {
@@ -701,19 +752,54 @@ func (c *Controller) noteWriteSpace() {
 	}
 }
 
+// readEvent is one armed read completion. The struct (and its prebound
+// fire closure) is recycled through the controller's freelist, so the
+// per-read completion costs no allocation.
+type readEvent struct {
+	c    *Controller
+	b    *bank
+	req  *request
+	sub  int
+	done units.Time
+	fire func()
+}
+
+func (c *Controller) newReadEvent() *readEvent {
+	if n := len(c.readEvFree); n > 0 {
+		ev := c.readEvFree[n-1]
+		c.readEvFree[n-1] = nil
+		c.readEvFree = c.readEvFree[:n-1]
+		return ev
+	}
+	ev := &readEvent{c: c}
+	ev.fire = ev.run
+	return ev
+}
+
+func (ev *readEvent) run() {
+	c, b, req, sub, done := ev.c, ev.b, ev.req, ev.sub, ev.done
+	// Recycle before finish: the callback may start new reads that want
+	// the struct back.
+	ev.b, ev.req = nil, nil
+	c.readEvFree = append(c.readEvFree, ev)
+	b.reads[sub] = nil
+	b.nreads--
+	c.finish(req, done)
+}
+
 func (c *Controller) startRead(b *bank, req *request) {
 	sub := c.subarrayOf(req.addr)
 	b.reads[sub] = req
+	b.nreads++
 	if b.write != nil {
 		c.stats.SubarrayOverlaps++
 	}
 	svc := c.par.ReadServiceTime()
 	b.busyTime += svc
 	done := c.eng.Now().Add(svc)
-	c.eng.At(done, func() {
-		delete(b.reads, sub)
-		c.finish(req, done)
-	})
+	ev := c.newReadEvent()
+	ev.b, ev.req, ev.sub, ev.done = b, req, sub, done
+	c.eng.At(done, ev.fire)
 }
 
 func (c *Controller) startWrite(b *bank, req *request) {
@@ -731,7 +817,7 @@ func (c *Controller) startWrite(b *bank, req *request) {
 	old := c.oldBuf // synchronous use only: released before the next event
 	c.dev.PeekLine(req.addr, old)
 	if b.observer != nil {
-		b.observer.ObserveQueues(len(c.readQ), len(c.writeQ))
+		b.observer.ObserveQueues(c.nreadQ, len(c.writeQ))
 	}
 	plan := b.scheme.PlanWrite(req.addr, old, req.data)
 	c.guard.CheckWritePlan(c.eng.Now(), req.addr, old, req.data, plan)
@@ -759,26 +845,57 @@ func (c *Controller) startWrite(b *bank, req *request) {
 	c.scheduleWriteCompletion(b, req)
 }
 
+// writeEvent is one armed write completion, recycled like readEvent so
+// the steady-state write path allocates nothing per completion. The
+// generation check preserves the self-invalidation of pause/cancel.
+type writeEvent struct {
+	c    *Controller
+	b    *bank
+	req  *request
+	end  units.Time
+	gen  uint64
+	fire func()
+}
+
+func (c *Controller) newWriteEvent() *writeEvent {
+	if n := len(c.writeEvFree); n > 0 {
+		ev := c.writeEvFree[n-1]
+		c.writeEvFree[n-1] = nil
+		c.writeEvFree = c.writeEvFree[:n-1]
+		return ev
+	}
+	ev := &writeEvent{c: c}
+	ev.fire = ev.run
+	return ev
+}
+
+func (ev *writeEvent) run() {
+	c, b, req, end, gen := ev.c, ev.b, ev.req, ev.end, ev.gen
+	// Recycle before completing: the completion path may start the next
+	// write, which wants the struct back.
+	ev.b, ev.req = nil, nil
+	c.writeEvFree = append(c.writeEvFree, ev)
+	if b.gen != gen || b.write != req {
+		return
+	}
+	c.dev.WriteLine(req.addr, req.data)
+	if c.cfg.VerifyWrites {
+		// The array may not hold what was driven (stuck cells,
+		// transient failures): enter the program-and-verify tail
+		// before releasing the bank.
+		c.startVerify(b, req, 0)
+		return
+	}
+	c.completeWrite(b, req, end)
+}
+
 // scheduleWriteCompletion arms the completion event for the bank's
 // in-flight write at its current writeEnd. The event self-invalidates if
 // a pause has re-scheduled the write since.
 func (c *Controller) scheduleWriteCompletion(b *bank, req *request) {
-	gen := b.gen
-	end := b.writeEnd
-	c.eng.At(end, func() {
-		if b.gen != gen || b.write != req {
-			return
-		}
-		c.dev.WriteLine(req.addr, req.data)
-		if c.cfg.VerifyWrites {
-			// The array may not hold what was driven (stuck cells,
-			// transient failures): enter the program-and-verify tail
-			// before releasing the bank.
-			c.startVerify(b, req, 0)
-			return
-		}
-		c.completeWrite(b, req, end)
-	})
+	ev := c.newWriteEvent()
+	ev.b, ev.req, ev.end, ev.gen = b, req, b.writeEnd, b.gen
+	c.eng.At(ev.end, ev.fire)
 }
 
 // completeWrite releases the bank and finishes the write request.
@@ -933,8 +1050,9 @@ func (c *Controller) tryPause(b *bank) {
 				c.writeQ = append([]*request{req}, c.writeQ...)
 				// Put the read back too: the normal scheduler path will
 				// start it on the now-free bank in order.
-				c.readQ = append([]*request{r}, c.readQ...)
-				c.schedule()
+				b.readQ = append([]*request{r}, b.readQ...)
+				c.nreadQ++
+				c.scheduleBank(b)
 				return
 			}
 		}
@@ -947,14 +1065,13 @@ func (c *Controller) tryPause(b *bank) {
 		readDone := boundary.Add(c.par.TRead)
 		c.eng.At(readDone, func() {
 			c.stats.ReadLatency.Add(readDone.Sub(r.enqueued))
-			if r.onDone != nil {
-				r.onDone(readDone)
-			}
+			c.deliverRead(r, readDone)
+			c.recycleRequest(r)
 			// Resume the write: its remainder executes after the read.
 			b.writeEnd = readDone.Add(remaining)
 			b.pausing = false
 			c.scheduleWriteCompletion(b, req)
-			c.schedule() // another read may want to pause again
+			c.scheduleBank(b) // another read may want to pause again
 		})
 	})
 }
@@ -969,8 +1086,8 @@ func (c *Controller) blockedBy(b *bank, addr pcm.LineAddr) bool {
 }
 
 func (c *Controller) hasBlockedReadFor(b *bank) bool {
-	for _, r := range c.readQ {
-		if c.bankOf(r.addr) == b && c.blockedBy(b, r.addr) {
+	for _, r := range b.readQ {
+		if c.blockedBy(b, r.addr) {
 			return true
 		}
 	}
@@ -978,13 +1095,28 @@ func (c *Controller) hasBlockedReadFor(b *bank) bool {
 }
 
 func (c *Controller) popBlockedReadFor(b *bank) *request {
-	for i, r := range c.readQ {
-		if c.bankOf(r.addr) == b && c.blockedBy(b, r.addr) {
-			c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+	for i, r := range b.readQ {
+		if c.blockedBy(b, r.addr) {
+			b.readQ = append(b.readQ[:i], b.readQ[i+1:]...)
+			c.nreadQ--
 			return r
 		}
 	}
 	return nil
+}
+
+// deliverRead reads the line's device image into the shared scratch
+// buffer and hands it to the read's callback. The buffer is reused for
+// the next read, so callbacks must copy if they retain it.
+func (c *Controller) deliverRead(req *request, at units.Time) {
+	if req.onData == nil {
+		return
+	}
+	if c.readBuf == nil {
+		c.readBuf = make([]byte, c.par.LineBytes)
+	}
+	c.dev.ReadLine(req.addr, c.readBuf)
+	req.onData(at, c.readBuf)
 }
 
 // finish completes a request: latency accounting, callback, rescheduling.
@@ -994,13 +1126,15 @@ func (c *Controller) finish(req *request, at units.Time) {
 	lat := at.Sub(req.enqueued)
 	if req.write {
 		c.stats.WriteLatency.Add(lat)
+		if req.onDone != nil {
+			req.onDone(at)
+		}
 	} else {
 		c.stats.ReadLatency.Add(lat)
+		c.deliverRead(req, at)
 	}
-	if req.onDone != nil {
-		req.onDone(at)
-	}
-	c.schedule()
+	// Completion frees resources on the request's own bank only.
+	c.scheduleBank(c.bankOf(req.addr))
 	c.checkIdle()
 	c.recycleRequest(req)
 }
@@ -1127,7 +1261,7 @@ func (c *Controller) Snoop(addr pcm.LineAddr, dst []byte) {
 // QueueDepths reports the current read and write queue occupancy, for
 // tests and debugging.
 func (c *Controller) QueueDepths() (reads, writes int) {
-	return len(c.readQ), len(c.writeQ)
+	return c.nreadQ, len(c.writeQ)
 }
 
 // BankUtilization returns each bank's array occupancy as a fraction of

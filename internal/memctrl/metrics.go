@@ -19,7 +19,7 @@ func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
 	// Queue state: the signals behind the paper's write-drain behaviour
 	// (read-dominant workloads barely drain; write-heavy ones storm).
 	reg.GaugeFunc("memctrl.read_queue_depth", "read queue occupancy", func() float64 {
-		return float64(len(c.readQ))
+		return float64(c.nreadQ)
 	})
 	reg.GaugeFunc("memctrl.write_queue_depth", "write queue occupancy", func() float64 {
 		return float64(len(c.writeQ))

@@ -228,7 +228,7 @@ func (c *Controller) startWriteDeferred(b *bank, req *request) {
 	now := c.eng.Now()
 	j := c.newJob()
 	j.bank, j.req, j.issued = b, req, now
-	j.qreads, j.qwrites = len(c.readQ), len(c.writeQ)
+	j.qreads, j.qwrites = c.nreadQ, len(c.writeQ)
 	if j.old == nil {
 		j.old = make([]byte, c.par.LineBytes)
 	}

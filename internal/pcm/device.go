@@ -102,6 +102,22 @@ func (d *Device) StoreOccupancy() (lines, capacity int, load float64) {
 	return d.lines.Len(), d.lines.Capacity(), d.lines.LoadFactor()
 }
 
+// ReserveLines pre-sizes the cell store for about n distinct lines,
+// capped to the device's address space. Callers that know the
+// workload's footprint (system.Run) use it to skip the store's
+// cold-start rehash ladder; it never changes stored contents.
+func (d *Device) ReserveLines(n int64) {
+	if max := d.params.Lines(); n > max {
+		n = max
+	}
+	if n <= 0 || n > int64(1)<<31 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lines.Reserve(int(n))
+}
+
 // ReadLine copies the stored contents of addr into dst, which must be
 // exactly one line long. It counts as one array read.
 func (d *Device) ReadLine(addr LineAddr, dst []byte) {

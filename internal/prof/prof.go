@@ -1,0 +1,52 @@
+// Package prof wires the standard pprof profilers to the -cpuprofile
+// and -memprofile flags shared by the command binaries, so hot-path
+// regressions can be diagnosed on the real tools rather than only on
+// the Go benchmarks (see EXPERIMENTS.md for the recipe).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start enables the profilers selected by the two paths; either may be
+// empty to skip that profiler. The returned stop function ends CPU
+// profiling and writes the heap profile — call it exactly once on clean
+// shutdown, after the measured work.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			defer f.Close()
+			// Settle transient garbage so the heap profile reflects the
+			// live working set, the number the allocation work cares about.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

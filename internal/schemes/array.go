@@ -24,6 +24,10 @@ type Array struct {
 	par       pcm.Params
 	lines     *linestore.Store
 	bitsWords int // words holding the packed uint16 cells
+
+	// pulseBuf is the reusable sort scratch of Apply. Arrays are
+	// single-owner like the schemes they shadow, so reuse is safe.
+	pulseBuf []Pulse
 }
 
 // NewArray returns an empty encoded-cell model.
@@ -72,8 +76,9 @@ func (a *Array) setCellFlip(l []uint64, i int, v bool) {
 func (a *Array) Apply(addr pcm.LineAddr, p Plan) {
 	l := a.line(addr)
 	sorted := p
-	sorted.Pulses = append([]Pulse(nil), p.Pulses...)
+	sorted.Pulses = append(a.pulseBuf[:0], p.Pulses...)
 	sorted.SortPulses()
+	a.pulseBuf = sorted.Pulses[:0]
 	for _, pl := range sorted.Pulses {
 		i := a.idx(pl.Chip, pl.Unit)
 		if pl.Kind == Set {
@@ -92,8 +97,29 @@ func (a *Array) Apply(addr pcm.LineAddr, p Plan) {
 
 // Logical decodes the stored cells of one line into its logical bytes.
 func (a *Array) Logical(addr pcm.LineAddr) []byte {
-	l := a.line(addr)
 	out := make([]byte, a.par.LineBytes)
+	a.LogicalInto(out, addr)
+	return out
+}
+
+// LogicalInto decodes the stored cells of one line into dst, which must
+// be one line long. For x16 chips the packed cell words ARE the logical
+// little-endian byte layout up to inversion coding, so decoding is one
+// XOR per four cells: the flip bitmap nibble expands to 16-bit lanes of
+// ones and flips exactly the inverted cells' data words.
+func (a *Array) LogicalInto(dst []byte, addr pcm.LineAddr) {
+	if len(dst) != a.par.LineBytes {
+		panic("schemes: LogicalInto buffer size mismatch")
+	}
+	l := a.line(addr)
+	n := a.par.DataUnits() * a.par.NumChips
+	if a.par.ChipWidthBits == 16 && n%4 == 0 {
+		for w := 0; w < n/4; w++ {
+			nib := l[a.bitsWords+w>>4] >> (4 * uint(w&15))
+			bitutil.StoreLE64(dst, w*8, l[w]^bitutil.LaneMask16(nib))
+		}
+		return
+	}
 	mask := bitutil.WidthMask(a.par.ChipWidthBits)
 	wb := a.par.ChipWidthBits / 8
 	for u := 0; u < a.par.DataUnits(); u++ {
@@ -103,10 +129,9 @@ func (a *Array) Logical(addr pcm.LineAddr) []byte {
 			if a.cellFlip(l, i) {
 				w = ^w & mask
 			}
-			bitutil.SetChipSlice(out, a.par.NumChips, wb, c, u, w)
+			bitutil.SetChipSlice(dst, a.par.NumChips, wb, c, u, w)
 		}
 	}
-	return out
 }
 
 // SyncLogical re-derives one line's stored data bits from its logical
@@ -118,6 +143,16 @@ func (a *Array) Logical(addr pcm.LineAddr) []byte {
 // oracle must start there too.
 func (a *Array) SyncLogical(addr pcm.LineAddr, logical []byte) {
 	l := a.line(addr)
+	n := a.par.DataUnits() * a.par.NumChips
+	if a.par.ChipWidthBits == 16 && n%4 == 0 && len(logical) >= n*2 {
+		// Encoding is the same involution as decoding: XOR the lanes
+		// whose flip tags are set (see LogicalInto).
+		for w := 0; w < n/4; w++ {
+			nib := l[a.bitsWords+w>>4] >> (4 * uint(w&15))
+			l[w] = bitutil.LoadLE64(logical, w*8) ^ bitutil.LaneMask16(nib)
+		}
+		return
+	}
 	mask := bitutil.WidthMask(a.par.ChipWidthBits)
 	wb := a.par.ChipWidthBits / 8
 	for u := 0; u < a.par.DataUnits(); u++ {
@@ -140,16 +175,10 @@ func (a *Array) SyncLogical(addr pcm.LineAddr, logical []byte) {
 func (a *Array) FlipTags(addr pcm.LineAddr) uint64 {
 	l := a.line(addr)
 	n := a.par.DataUnits() * a.par.NumChips
-	if n > 64 {
-		n = 64
+	if n >= 64 {
+		return l[a.bitsWords] // bitmap word 0 IS the tag layout
 	}
-	var w uint64
-	for i := 0; i < n; i++ {
-		if a.cellFlip(l, i) {
-			w |= 1 << uint(i)
-		}
-	}
-	return w
+	return l[a.bitsWords] & (1<<uint(n) - 1)
 }
 
 // Encoded returns the raw stored bits and flip cell of one (chip, unit).

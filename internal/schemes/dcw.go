@@ -33,10 +33,40 @@ func (s *dcw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	clock := slotClock{pitch: s.par.TSet}
 
 	wb := s.par.ChipWidthBits / 8
+	nc := s.par.NumChips
+	if wb == 2 && nc*nu%4 == 0 && len(old) >= nc*nu*2 {
+		// Word-parallel diffing for x16 parts: one uint64 load covers
+		// four consecutive (chip, unit) cells, and an unchanged cell
+		// emits nothing, so a zero word-diff skips all four. Changed
+		// lanes emit in the same ascending cell order as the scalar
+		// loop (u-major), so the pulse sequence is identical.
+		for w := 0; w < nc*nu/4; w++ {
+			ow := bitutil.LoadLE64(old, w*8)
+			nw := bitutil.LoadLE64(new, w*8)
+			diff := ow ^ nw
+			if diff == 0 {
+				continue
+			}
+			for lane := 0; lane < 4; lane++ {
+				d := uint16(diff >> (16 * uint(lane)))
+				if d == 0 {
+					continue
+				}
+				i := w*4 + lane
+				o := uint16(ow >> (16 * uint(lane)))
+				n := uint16(nw >> (16 * uint(lane)))
+				emitStreams(&p, lay, clock, i%nc, i/nc,
+					stream{Reset, d & o},
+					stream{Set, d & n},
+				)
+			}
+		}
+		return p
+	}
 	for u := 0; u < nu; u++ {
-		for c := 0; c < s.par.NumChips; c++ {
-			ow := bitutil.ChipSlice(old, s.par.NumChips, wb, c, u)
-			nw := bitutil.ChipSlice(new, s.par.NumChips, wb, c, u)
+		for c := 0; c < nc; c++ {
+			ow := bitutil.ChipSlice(old, nc, wb, c, u)
+			nw := bitutil.ChipSlice(new, nc, wb, c, u)
 			tr := bitutil.Transition16(ow, nw)
 			emitStreams(&p, lay, clock, c, u,
 				stream{Reset, tr.Resets},

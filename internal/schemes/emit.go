@@ -1,6 +1,10 @@
 package schemes
 
-import "tetriswrite/internal/units"
+import (
+	"math/bits"
+
+	"tetriswrite/internal/units"
+)
 
 // stream is one kind of cell pulses to emit for a (chip, unit) pair.
 type stream struct {
@@ -45,25 +49,43 @@ func emitStreams(p *Plan, lay staticLayout, clock slotClock, chip, unit int, str
 	}
 	k := 0
 	for _, s := range streams {
-		for b := 0; b < 16; b++ {
-			if s.mask&(1<<b) == 0 {
-				continue
-			}
+		// Walk the mask a slot's worth of set bits at a time instead of
+		// bit-by-bit: in the common shared regime the whole stream fits
+		// the current slot and costs one popcount; otherwise the lowest
+		// `room` bits are peeled off with mask &= mask-1. Cells are still
+		// consumed in ascending bit order, so the per-slot masks (and the
+		// emitted pulse sequence) are identical to the scalar walk.
+		m := s.mask
+		for m != 0 {
 			slot := k / lay.capBits
 			if slot >= len(acc) {
 				// More cells than the worst case the layout was sized
 				// for: a scheme bug, make it loud.
 				panic("schemes: emitStreams overflowed the unit's slot reservation")
 			}
-			if s.kind == Set {
-				acc[slot].set |= 1 << b
+			room := lay.capBits - k%lay.capBits
+			take := m
+			if n := bits.OnesCount16(m); n <= room {
+				m = 0
+				k += n
 			} else {
-				acc[slot].reset |= 1 << b
+				rest := m
+				for j := 0; j < room; j++ {
+					rest &= rest - 1
+				}
+				take = m ^ rest
+				m = rest
+				k += room
 			}
-			k++
+			if s.kind == Set {
+				acc[slot].set |= take
+			} else {
+				acc[slot].reset |= take
+			}
 		}
 	}
-	for i, m := range acc {
+	used := min((k+lay.capBits-1)/lay.capBits, len(acc))
+	for i, m := range acc[:used] {
 		start := clock.start(first + i)
 		if m.set != 0 {
 			p.Pulses = append(p.Pulses, Pulse{Chip: chip, Unit: unit, Kind: Set, Start: start, Mask: m.set})

@@ -39,17 +39,73 @@ func (s *fnw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 	clock := slotClock{pitch: s.par.TSet}
 
 	wb := s.par.ChipWidthBits / 8
-	for u := 0; u < nu; u++ {
-		for c := 0; c < s.par.NumChips; c++ {
-			logicalOld := bitutil.ChipSlice(old, s.par.NumChips, wb, c, u)
-			logicalNew := bitutil.ChipSlice(new, s.par.NumChips, wb, c, u)
-			oldFlip := s.flips.get(addr, c, u)
-			stored := bitutil.FlipWord{
-				Bits: s.flips.encoded(addr, c, u, s.par.ChipWidthBits, logicalOld),
-				Flip: oldFlip,
+	nc := s.par.NumChips
+	wbits := s.par.ChipWidthBits
+	// One fetch of the line's whole tag word replaces a store probe per
+	// cell; the updated word goes back once at the end.
+	tagSlot := s.flips.m.Ensure(int64(addr))
+	tags := tagSlot[0]
+	if wb == 2 && nc*nu%4 == 0 && len(old) >= nc*nu*2 {
+		// Word-parallel pass for x16 parts (see the Tetris read stage):
+		// an unchanged cell re-encodes to exactly its stored state under
+		// the Flip-N-Write rule — no pulses, no tag change — so a zero
+		// uint64 diff skips four cells at once. Changed lanes run the
+		// scalar coding in the same ascending cell order.
+		for w := 0; w < nc*nu/4; w++ {
+			ow := bitutil.LoadLE64(old, w*8)
+			nw := bitutil.LoadLE64(new, w*8)
+			diff := ow ^ nw
+			if diff == 0 {
+				continue
 			}
-			enc, tr, flipSet, flipReset := bitutil.FlipTransition(stored, logicalNew, s.par.ChipWidthBits)
-			s.flips.set(addr, c, u, enc.Flip)
+			for lane := 0; lane < 4; lane++ {
+				if uint16(diff>>(16*uint(lane))) == 0 {
+					continue
+				}
+				i := w*4 + lane
+				bit := uint64(1) << uint(i)
+				logicalOld := uint16(ow >> (16 * uint(lane)))
+				logicalNew := uint16(nw >> (16 * uint(lane)))
+				stored := bitutil.FlipWord{Bits: logicalOld, Flip: false}
+				if tags&bit != 0 {
+					stored = bitutil.FlipWord{Bits: ^logicalOld, Flip: true}
+				}
+				enc, tr, flipSet, flipReset := bitutil.FlipTransition(stored, logicalNew, wbits)
+				if enc.Flip {
+					tags |= bit
+				} else {
+					tags &^= bit
+				}
+				c, u := i%nc, i/nc
+				emitStreams(&p, lay, clock, c, u,
+					stream{Reset, tr.Resets},
+					stream{Set, tr.Sets},
+				)
+				if flipSet {
+					emitFlip(&p, lay, clock, c, u, Set)
+				} else if flipReset {
+					emitFlip(&p, lay, clock, c, u, Reset)
+				}
+			}
+		}
+		tagSlot[0] = tags
+		return p
+	}
+	for u := 0; u < nu; u++ {
+		for c := 0; c < nc; c++ {
+			bit := uint64(1) << uint(u*nc+c)
+			logicalOld := bitutil.ChipSlice(old, nc, wb, c, u)
+			logicalNew := bitutil.ChipSlice(new, nc, wb, c, u)
+			stored := bitutil.FlipWord{Bits: logicalOld, Flip: false}
+			if tags&bit != 0 {
+				stored = bitutil.FlipWord{Bits: ^logicalOld & bitutil.WidthMask(wbits), Flip: true}
+			}
+			enc, tr, flipSet, flipReset := bitutil.FlipTransition(stored, logicalNew, wbits)
+			if enc.Flip {
+				tags |= bit
+			} else {
+				tags &^= bit
+			}
 			emitStreams(&p, lay, clock, c, u,
 				stream{Reset, tr.Resets},
 				stream{Set, tr.Sets},
@@ -61,5 +117,6 @@ func (s *fnw) PlanWrite(addr pcm.LineAddr, old, new []byte) Plan {
 			}
 		}
 	}
+	tagSlot[0] = tags
 	return p
 }

@@ -211,7 +211,47 @@ func (p Plan) Validate(par pcm.Params) error {
 // field — so the sorted order is unique regardless of input order or sort
 // algorithm, which is what lets the scratch-arena path and the
 // fresh-allocation path produce bit-identical plans.
+//
+// The common case packs the whole comparator key into one uint64 per
+// pulse — Start(36) Chip(4) Unit(6) Kind(1) FlipCell(1) Mask(16), in
+// comparator significance order — sorts the keys natively, and decodes
+// the pulses back out of them. Plans whose fields overflow the packing
+// (enormous starts, exotic geometries) take the comparator sort; both
+// produce the identical unique order.
 func (p *Plan) SortPulses() {
+	if len(p.Pulses) < 2 {
+		return
+	}
+	var keyBuf [256]uint64
+	keys := keyBuf[:0]
+	if len(p.Pulses) > len(keyBuf) {
+		keys = make([]uint64, 0, len(p.Pulses))
+	}
+	for _, pl := range p.Pulses {
+		if uint64(pl.Start) >= 1<<36 || uint(pl.Chip) >= 16 || uint(pl.Unit) >= 64 || pl.Kind > Reset {
+			p.sortPulsesSlow()
+			return
+		}
+		k := uint64(pl.Start)<<28 | uint64(pl.Chip)<<24 | uint64(pl.Unit)<<18 | uint64(pl.Kind)<<17 | uint64(pl.Mask)
+		if pl.FlipCell {
+			k |= 1 << 16
+		}
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		p.Pulses[i] = Pulse{
+			Chip:     int(k >> 24 & 0xF),
+			Unit:     int(k >> 18 & 0x3F),
+			Kind:     PulseKind(k >> 17 & 1),
+			Start:    units.Duration(k >> 28),
+			Mask:     uint16(k),
+			FlipCell: k&(1<<16) != 0,
+		}
+	}
+}
+
+func (p *Plan) sortPulsesSlow() {
 	slices.SortFunc(p.Pulses, func(a, b Pulse) int {
 		if a.Start != b.Start {
 			return cmp.Compare(a.Start, b.Start)

@@ -36,6 +36,16 @@ type wheelLevel struct {
 	slot  [wheelSlots]*event
 	occ   [wheelSlots / 64]uint64
 	count int
+
+	// cacheSlot memoizes scanFrom's result — the first occupied slot
+	// circularly at-or-after the wheel position's slot on this level.
+	// refill consults every non-empty level once per drained tick, so
+	// without the memo the bitmap scans dominate the kernel's cost. The
+	// memo stays valid as the position advances (the position never
+	// passes a level's minimum pending tick); push keeps it minimal by
+	// circular-distance comparison and take invalidates it.
+	cacheSlot uint64
+	cacheOK   bool
 }
 
 func (l *wheelLevel) add(s uint64, ev *event) {
@@ -52,7 +62,21 @@ func (l *wheelLevel) take(s uint64) *event {
 	head := l.slot[s]
 	l.slot[s] = nil
 	l.occ[s>>6] &^= 1 << (s & 63)
+	l.cacheOK = false
 	return head
+}
+
+// firstFrom is scanFrom through the memo: `from` is the wheel
+// position's slot on this level, which only advances, and never past
+// the level's minimum pending tick — so a memoized result stays the
+// first occupied slot until a take clears it or a push beats it.
+func (l *wheelLevel) firstFrom(from uint64) uint64 {
+	if l.cacheOK {
+		return l.cacheSlot
+	}
+	l.cacheSlot = l.scanFrom(from)
+	l.cacheOK = true
+	return l.cacheSlot
 }
 
 // scanFrom returns the first occupied slot index at or circularly after
@@ -112,7 +136,17 @@ func (w *timingWheel) push(ev *event) {
 	for l := 0; l < wheelLevels; l++ {
 		k := uint(l * wheelBits)
 		if (t>>k)-(w.cur>>k) < wheelSlots {
-			w.levels[l].add((t>>k)&wheelMask, ev)
+			s := (t >> k) & wheelMask
+			lv := &w.levels[l]
+			if lv.cacheOK {
+				// Keep the first-occupied memo minimal: circular distance
+				// from the wheel position's slot decides "first".
+				base := (w.cur >> k) & wheelMask
+				if (s-base)&wheelMask < (lv.cacheSlot-base)&wheelMask {
+					lv.cacheSlot = s
+				}
+			}
+			lv.add(s, ev)
 			w.size++
 			return
 		}
@@ -142,7 +176,7 @@ func (w *timingWheel) refill(bound uint64) {
 		bestLv := -1
 		var bestSlot uint64
 		if l := &w.levels[0]; l.count > 0 {
-			s := l.scanFrom(w.cur & wheelMask)
+			s := l.firstFrom(w.cur & wheelMask)
 			tick := w.cur + ((s - w.cur) & wheelMask)
 			bestStart, bestLv, bestSlot = tick, 0, s
 		}
@@ -152,7 +186,7 @@ func (w *timingWheel) refill(bound uint64) {
 				continue
 			}
 			base := w.cur >> uint(lv*wheelBits)
-			s := l.scanFrom(base & wheelMask)
+			s := l.firstFrom(base & wheelMask)
 			blockStart := (base + ((s - base) & wheelMask)) << uint(lv*wheelBits)
 			if blockStart < w.cur {
 				// The slot whose block contains the current position.

@@ -342,6 +342,7 @@ type preloadPort struct {
 	prog      *workload.Program
 	seen      *linestore.Set
 	translate func(pcm.LineAddr) pcm.LineAddr
+	initBuf   []byte // scratch for the initial image; Preload copies it
 }
 
 func (p *preloadPort) ensure(addr pcm.LineAddr) {
@@ -352,7 +353,11 @@ func (p *preloadPort) ensure(addr pcm.LineAddr) {
 	if p.translate != nil {
 		phys = p.translate(addr)
 	}
-	p.dev.Preload(phys, p.prog.InitialContents(addr))
+	if p.initBuf == nil {
+		p.initBuf = make([]byte, p.dev.Params().LineBytes)
+	}
+	p.prog.InitialContentsInto(addr, p.initBuf)
+	p.dev.Preload(phys, p.initBuf)
 }
 
 func (p *preloadPort) SubmitRead(addr pcm.LineAddr, onDone func(at units.Time, data []byte)) bool {
@@ -422,6 +427,18 @@ func RunCtx(ctx context.Context, prof workload.Profile, factory schemes.Factory,
 	}
 	g := newGuard(eng, ctrl, cfg, fp)
 	prog := workload.NewProgram(prof, cfg.Cores, cfg.Seed, cfg.Params)
+	// Pre-size the cell store to the lines the run can plausibly touch —
+	// the workload's address footprint, capped by its expected memory
+	// access count — so the first-touch preload path skips the store's
+	// doubling-and-rehash ladder without zeroing capacity a short run
+	// never fills.
+	accesses := int64(float64(cfg.InstrBudget) * float64(cfg.Cores) * (prof.RPKI + prof.WPKI) / 1000)
+	if hint := prog.AddressFootprint(); hint > 0 {
+		if accesses < hint {
+			hint = accesses
+		}
+		dev.ReserveLines(hint)
+	}
 
 	var spare *fault.SpareRemapper
 	var memBase wearlevel.Mem = ctrl

@@ -18,6 +18,13 @@ type schedCache struct {
 	entries int64
 	hits    int64
 	misses  int64
+
+	// Entries are immortal (no eviction below the cap), so their keys,
+	// alloc lists and list headers are carved from chunked arenas —
+	// one malloc per chunk instead of three per store.
+	intArena   []int
+	allocArena []Alloc
+	listArena  [][]Alloc
 }
 
 // schedCacheMaxEntries bounds the cache's footprint. At a few hundred
@@ -57,16 +64,54 @@ func (c *schedCache) store(pk Packer, in1, in0 []int, sched Schedule) {
 		c.buckets = make(map[uint64][]schedEntry)
 	}
 	h := hashKey(pk, in1, in0)
-	key := make([]int, 2*len(in1))
+	key := c.carveInts(2 * len(in1))
 	copy(key, in1)
 	copy(key[len(in1):], in0)
 	c.buckets[h] = append(c.buckets[h], schedEntry{
 		pk:    pk,
-		in1:   key[:len(in1)],
+		in1:   key[:len(in1):len(in1)],
 		in0:   key[len(in1):],
-		sched: copySchedule(sched),
+		sched: c.copySchedule(sched),
 	})
 	c.entries++
+}
+
+// arenaChunkMax caps the cache's arena chunk size (in elements). Chunks
+// start at the first request's size and double up to this cap, so a
+// short-lived cache (a fresh system per benchmark iteration, a brief
+// sweep job) allocates only what it stores while a hot long-lived one
+// converges to rare large-chunk mallocs.
+const arenaChunkMax = 1024
+
+func arenaGrow(have, n int) int {
+	return max(n, min(arenaChunkMax, 2*have))
+}
+
+func (c *schedCache) carveInts(n int) []int {
+	if len(c.intArena)+n > cap(c.intArena) {
+		c.intArena = make([]int, 0, arenaGrow(cap(c.intArena), n))
+	}
+	m := len(c.intArena)
+	c.intArena = c.intArena[:m+n]
+	return c.intArena[m : m+n : m+n]
+}
+
+func (c *schedCache) carveAllocs(n int) []Alloc {
+	if len(c.allocArena)+n > cap(c.allocArena) {
+		c.allocArena = make([]Alloc, 0, arenaGrow(cap(c.allocArena), n))
+	}
+	m := len(c.allocArena)
+	c.allocArena = c.allocArena[:m+n]
+	return c.allocArena[m : m+n : m+n]
+}
+
+func (c *schedCache) carveLists(n int) [][]Alloc {
+	if len(c.listArena)+n > cap(c.listArena) {
+		c.listArena = make([][]Alloc, 0, arenaGrow(cap(c.listArena), n))
+	}
+	m := len(c.listArena)
+	c.listArena = c.listArena[:m+n]
+	return c.listArena[m : m+n : m+n]
 }
 
 // Stats returns the cache's hit/miss/occupancy counters.
@@ -74,20 +119,15 @@ func (c *schedCache) Stats() (hits, misses, entries int64) {
 	return c.hits, c.misses, c.entries
 }
 
-// hashKey is FNV-1a over every field Pack depends on.
+// hashKey mixes every field Pack depends on, one multiply-xorshift round
+// per word (the byte-at-a-time FNV it replaces showed up in full-system
+// profiles). Only bucket grouping depends on the hash — lookups compare
+// the full key — so the function only needs to spread, not be FNV.
 func hashKey(pk Packer, in1, in0 []int) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
+	h := uint64(14695981039346656037)
 	mix := func(v int) {
-		x := uint64(v)
-		for i := 0; i < 8; i++ {
-			h ^= x & 0xff
-			h *= prime
-			x >>= 8
-		}
+		h = (h ^ uint64(v)) * 0x9E3779B97F4A7C15
+		h ^= h >> 29
 	}
 	mix(pk.Budget)
 	mix(pk.K)
@@ -121,8 +161,9 @@ func intsEqual(a, b []int) bool {
 	return true
 }
 
-// copySchedule deep-copies a schedule into compact cache-owned storage.
-func copySchedule(s Schedule) Schedule {
+// copySchedule deep-copies a schedule into compact cache-owned arena
+// storage.
+func (c *schedCache) copySchedule(s Schedule) Schedule {
 	total := 0
 	for _, l := range s.Write1 {
 		total += len(l)
@@ -130,8 +171,8 @@ func copySchedule(s Schedule) Schedule {
 	for _, l := range s.Write0 {
 		total += len(l)
 	}
-	arena := make([]Alloc, 0, total)
-	lists := make([][]Alloc, 2*len(s.Write1))
+	arena := c.carveAllocs(total)[:0]
+	lists := c.carveLists(2 * len(s.Write1))
 	out := s
 	out.Write1 = lists[:len(s.Write1):len(s.Write1)]
 	out.Write0 = lists[len(s.Write1):]

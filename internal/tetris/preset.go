@@ -126,6 +126,13 @@ type presetWork struct {
 	flipReset bool
 }
 
+// cellRef names one cell for the preset emitter (the write path walks
+// transition masks directly and no longer materializes cell lists).
+type cellRef struct {
+	chip int
+	bit  int
+}
+
 func (s *scheme) emitPreset(p *schemes.Plan, sched Schedule, chips []int, work [][]presetWork, pitch units.Duration) {
 	nu := s.par.DataUnits()
 	tset := s.par.TSet

@@ -1,6 +1,8 @@
 package tetris
 
 import (
+	"math/bits"
+
 	"tetriswrite/internal/bitutil"
 	"tetriswrite/internal/linestore"
 	"tetriswrite/internal/pcm"
@@ -41,10 +43,9 @@ type scheme struct {
 
 	// Per-write scratch buffers: PlanWrite sits on every simulated write
 	// and schemes are single-owner by contract, so reuse is safe.
-	workBuf  []UnitCounts // nc*nu entries, chip-major
+	workBuf  []UnitCounts // nc*nu entries, unit-major (index u*nc+c)
 	domains  []packDomain
 	in1, in0 []int
-	cellBuf  []cellRef
 	maskBuf  []uint16 // per chip
 	pack     Scratch
 	emitBuf  []emission
@@ -121,7 +122,8 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 	k := s.par.K()
 
 	// Read stage: per (chip, unit) inversion decisions and counts,
-	// chip-major in the reused scratch buffer.
+	// unit-major in the reused scratch buffer (index u*nc+c — cell order,
+	// so the word-parallel pass below writes it sequentially).
 	if len(s.workBuf) != nc*nu {
 		s.workBuf = make([]UnitCounts, nc*nu)
 	}
@@ -130,25 +132,75 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 	flipWord := flipSlot[0]
 	wbits := s.par.ChipWidthBits
 	wb := wbits / 8
-	for c := 0; c < nc; c++ {
-		for u := 0; u < nu; u++ {
-			logicalOld := bitutil.ChipSlice(old, nc, wb, c, u)
-			logicalNew := bitutil.ChipSlice(new, nc, wb, c, u)
-			stored := bitutil.FlipWord{Bits: logicalOld, Flip: false}
-			if flipWord&s.flipBit(c, u) != 0 {
-				stored = bitutil.FlipWord{Bits: ^logicalOld & bitutil.WidthMask(wbits), Flip: true}
+	if wb == 2 && nc*nu%4 == 0 && len(old) >= nc*nu*2 {
+		// Word-parallel pass for x16 parts: the line's 16-bit chip slices
+		// are consecutive little-endian words, so one uint64 load covers
+		// cells 4w..4w+3 and one compare skips all four when nothing
+		// changed. An unchanged cell always yields zero pulses and an
+		// unchanged tag under inversion coding (re-deriving its encoding
+		// lands exactly where it already is), so only changed lanes run
+		// the per-cell read stage. The flip-tag word shares the cell
+		// index, so the lane's tag is one nibble shift away.
+		for w := 0; w < nc*nu/4; w++ {
+			ow := bitutil.LoadLE64(old, w*8)
+			nw := bitutil.LoadLE64(new, w*8)
+			base := w * 4
+			if ow == nw && (!s.opt.DisableFlip || flipWord>>(uint(base))&0xF == 0) {
+				work[base] = UnitCounts{}
+				work[base+1] = UnitCounts{}
+				work[base+2] = UnitCounts{}
+				work[base+3] = UnitCounts{}
+				continue
 			}
-			var uc UnitCounts
-			if s.opt.TimeAwareFlip && !s.opt.DisableFlip {
-				uc = ReadStageTimeAware(stored, logicalNew, wbits, k)
-			} else {
-				uc = ReadStage(stored, logicalNew, wbits, s.opt.DisableFlip)
+			diff := ow ^ nw
+			for lane := 0; lane < 4; lane++ {
+				i := base + lane
+				bit := uint64(1) << uint(i)
+				if diff>>(16*uint(lane))&0xFFFF == 0 && (!s.opt.DisableFlip || flipWord&bit == 0) {
+					work[i] = UnitCounts{}
+					continue
+				}
+				logicalOld := uint16(ow >> (16 * uint(lane)))
+				logicalNew := uint16(nw >> (16 * uint(lane)))
+				stored := bitutil.FlipWord{Bits: logicalOld, Flip: false}
+				if flipWord&bit != 0 {
+					stored = bitutil.FlipWord{Bits: ^logicalOld, Flip: true}
+				}
+				var uc UnitCounts
+				if s.opt.TimeAwareFlip && !s.opt.DisableFlip {
+					uc = ReadStageTimeAware(stored, logicalNew, wbits, k)
+				} else {
+					uc = ReadStage(stored, logicalNew, wbits, s.opt.DisableFlip)
+				}
+				work[i] = uc
+				if uc.Enc.Flip {
+					flipWord |= bit
+				} else {
+					flipWord &^= bit
+				}
 			}
-			work[c*nu+u] = uc
-			if uc.Enc.Flip {
-				flipWord |= s.flipBit(c, u)
-			} else {
-				flipWord &^= s.flipBit(c, u)
+		}
+	} else {
+		for c := 0; c < nc; c++ {
+			for u := 0; u < nu; u++ {
+				logicalOld := bitutil.ChipSlice(old, nc, wb, c, u)
+				logicalNew := bitutil.ChipSlice(new, nc, wb, c, u)
+				stored := bitutil.FlipWord{Bits: logicalOld, Flip: false}
+				if flipWord&s.flipBit(c, u) != 0 {
+					stored = bitutil.FlipWord{Bits: ^logicalOld & bitutil.WidthMask(wbits), Flip: true}
+				}
+				var uc UnitCounts
+				if s.opt.TimeAwareFlip && !s.opt.DisableFlip {
+					uc = ReadStageTimeAware(stored, logicalNew, wbits, k)
+				} else {
+					uc = ReadStage(stored, logicalNew, wbits, s.opt.DisableFlip)
+				}
+				work[u*nc+c] = uc
+				if uc.Enc.Flip {
+					flipWord |= s.flipBit(c, u)
+				} else {
+					flipWord &^= s.flipBit(c, u)
+				}
 			}
 		}
 	}
@@ -183,8 +235,8 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 		for u := 0; u < nu; u++ {
 			in1[u], in0[u] = 0, 0
 			for _, c := range dom.chips {
-				in1[u] += work[c*nu+u].N1() * s.par.CurrentSet
-				in0[u] += work[c*nu+u].N0() * s.par.CurrentReset
+				in1[u] += work[u*nc+c].N1() * s.par.CurrentSet
+				in0[u] += work[u*nc+c].N0() * s.par.CurrentReset
 			}
 		}
 		// Flip-cell SET riders need a Tset-long span even when no data
@@ -193,7 +245,7 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 		minResult := 0
 		for u := 0; u < nu && minResult == 0; u++ {
 			for _, c := range dom.chips {
-				if work[c*nu+u].FlipSet {
+				if work[u*nc+c].FlipSet {
 					minResult = 1
 					break
 				}
@@ -222,7 +274,7 @@ func (s *scheme) PlanWrite(addr pcm.LineAddr, old, new []byte) schemes.Plan {
 		// Flip-cell RESET riders only need a Treset-long span.
 		for u := 0; u < nu; u++ {
 			for _, c := range dom.chips {
-				if work[c*nu+u].FlipReset && len(sched.Write0[u]) == 0 &&
+				if work[u*nc+c].FlipReset && len(sched.Write0[u]) == 0 &&
 					sched.Result == 0 && sched.SubResult == 0 {
 					sched.SubResult = 1
 				}
@@ -273,15 +325,33 @@ func (s *scheme) emitDomain(p *schemes.Plan, sched Schedule, chips []int, work [
 
 	for u := 0; u < nu; u++ {
 		// Write-1s: distribute the domain's SET cells (chip-major, bit
-		// order) across the unit's write-unit allocations.
-		setCells := s.cellStream(chips, work, u, true)
-		ci := 0
+		// order) across the unit's write-unit allocations. The cursor
+		// (ci, rem) walks the per-chip transition masks directly —
+		// popcount and lowest-bit clearing replace the old per-bit scan
+		// through a materialized cell list, but consume cells in the
+		// identical chip-major ascending-bit order.
+		ci, rem := -1, uint16(0)
 		for _, a := range sched.Write1[u] {
 			n := a.Amount / s.par.CurrentSet
-			for j := 0; j < n; j++ {
-				cell := setCells[ci]
-				ci++
-				masks[cell.chip] |= 1 << cell.bit
+			for n > 0 {
+				for rem == 0 {
+					ci++
+					rem = work[u*nc+chips[ci]].Tr.Sets
+				}
+				avail := bits.OnesCount16(rem)
+				if avail <= n {
+					masks[chips[ci]] |= rem
+					n -= avail
+					rem = 0
+					continue
+				}
+				rest := rem
+				for j := 0; j < n; j++ {
+					rest &= rest - 1 // clear lowest set bit
+				}
+				masks[chips[ci]] |= rem &^ rest
+				rem = rest
+				n = 0
 			}
 			for _, c := range chips {
 				if m := masks[c]; m != 0 {
@@ -295,14 +365,28 @@ func (s *scheme) emitDomain(p *schemes.Plan, sched Schedule, chips []int, work [
 		}
 
 		// Write-0s: same, across sub-slot allocations.
-		resetCells := s.cellStream(chips, work, u, false)
-		ci = 0
+		ci, rem = -1, 0
 		for _, a := range sched.Write0[u] {
 			n := a.Amount / s.par.CurrentReset
-			for j := 0; j < n; j++ {
-				cell := resetCells[ci]
-				ci++
-				masks[cell.chip] |= 1 << cell.bit
+			for n > 0 {
+				for rem == 0 {
+					ci++
+					rem = work[u*nc+chips[ci]].Tr.Resets
+				}
+				avail := bits.OnesCount16(rem)
+				if avail <= n {
+					masks[chips[ci]] |= rem
+					n -= avail
+					rem = 0
+					continue
+				}
+				rest := rem
+				for j := 0; j < n; j++ {
+					rest &= rest - 1
+				}
+				masks[chips[ci]] |= rem &^ rest
+				rem = rest
+				n = 0
 			}
 			start := subSlotStart(a.Slot, sched.Result, k, tset, pitch)
 			for _, c := range chips {
@@ -320,7 +404,7 @@ func (s *scheme) emitDomain(p *schemes.Plan, sched Schedule, chips []int, work [
 		// of the matching kind, or the domain's first slot if the unit
 		// has no data pulses of that kind.
 		for _, c := range chips {
-			uc := work[c*nu+u]
+			uc := work[u*nc+c]
 			if uc.FlipSet {
 				slot := 0
 				if len(sched.Write1[u]) > 0 {
@@ -343,30 +427,4 @@ func (s *scheme) emitDomain(p *schemes.Plan, sched Schedule, chips []int, work [
 			}
 		}
 	}
-}
-
-type cellRef struct {
-	chip int
-	bit  int
-}
-
-// cellStream lists a unit's pulsed cells of one kind across the domain's
-// chips, in deterministic chip-major bit order. The returned slice is the
-// scheme's scratch buffer, valid until the next call.
-func (s *scheme) cellStream(chips []int, work []UnitCounts, u int, sets bool) []cellRef {
-	nu := s.par.DataUnits()
-	out := s.cellBuf[:0]
-	for _, c := range chips {
-		mask := work[c*nu+u].Tr.Resets
-		if sets {
-			mask = work[c*nu+u].Tr.Sets
-		}
-		for b := 0; b < 16; b++ {
-			if mask&(1<<b) != 0 {
-				out = append(out, cellRef{chip: c, bit: b})
-			}
-		}
-	}
-	s.cellBuf = out
-	return out
 }

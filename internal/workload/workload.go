@@ -142,6 +142,13 @@ type Generator struct {
 	// reproduces both Figure 3 means — a closed bit-flip process alone
 	// cannot sustain SET-dominance, allocation churn is what does.
 	freshFrac float64
+	// expUnitMean caches exp(-(MeanSets+MeanResets)*scale) for the
+	// per-unit Poisson draw — the mean is a generator constant, and
+	// math.Exp per draw was a measurable slice of full-system profiles.
+	expUnitMean float64
+	// perm is distinctBits' partial Fisher-Yates scratch; reusing it
+	// consumes the RNG identically to a fresh slice.
+	perm []int
 }
 
 // Program is one multi-threaded workload instance: a profile plus the
@@ -190,6 +197,12 @@ func NewProgram(prof Profile, cores int, seed int64, par pcm.Params) *Program {
 	}
 }
 
+// AddressFootprint returns the number of lines in the program's static
+// regions (every core's private region plus the shared region) — the
+// bulk of the distinct lines a run touches; fresh allocations extend a
+// little past it. Device sizing uses it as a capacity hint.
+func (p *Program) AddressFootprint() int64 { return int64(p.frontBase) }
+
 // Profile returns the program's (normalized) profile.
 func (p *Program) Profile() Profile { return p.prof }
 
@@ -215,6 +228,8 @@ func (p *Program) Generator(core int) *Generator {
 	g.frontEnd = g.frontier + frontierCap
 	g.zipfPriv = rand.NewZipf(rng, p.prof.ZipfS, 1, uint64(p.prof.PrivateLines-1))
 	g.zipfShrd = rand.NewZipf(rng, p.prof.ZipfS, 1, uint64(p.prof.SharedLines-1))
+	scale := 1 / (1 - p.prof.UntouchedUnits)
+	g.expUnitMean = math.Exp(-total * scale)
 	return g
 }
 
@@ -232,21 +247,30 @@ func (p *Program) Generator(core int) *Generator {
 // 8 bytes and no seeding step.
 func (p *Program) initialLine(addr pcm.LineAddr) []byte {
 	l := make([]byte, p.par.LineBytes)
+	p.initialInto(addr, l)
+	return l
+}
+
+// initialInto fills dst (LineBytes long, assumed zeroed or fully
+// overwritten below) with the line's initial contents.
+func (p *Program) initialInto(addr pcm.LineAddr, dst []byte) {
 	if addr >= p.frontBase {
-		return l
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
 	}
 	x := uint64(p.seed) ^ uint64(addr)*0x9E3779B97F4A7C15
-	for i := 0; i < len(l); i += 8 {
+	for i := 0; i < len(dst); i += 8 {
 		x += 0x9E3779B97F4A7C15
 		z := x
 		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
 		z = (z ^ z>>27) * 0x94D049BB133111EB
 		z ^= z >> 31
-		for j := 0; j < 8 && i+j < len(l); j++ {
-			l[i+j] = byte(z >> (8 * j))
+		for j := 0; j < 8 && i+j < len(dst); j++ {
+			dst[i+j] = byte(z >> (8 * j))
 		}
 	}
-	return l
 }
 
 // initWords is initialLine directly in the shadow store's word layout:
@@ -290,6 +314,16 @@ func (p *Program) shadowWords(addr pcm.LineAddr) []uint64 {
 // PCM; for resident lines it is the line's deterministic initial mix.
 func (p *Program) InitialContents(addr pcm.LineAddr) []byte {
 	return p.initialLine(addr)
+}
+
+// InitialContentsInto is InitialContents into a caller-owned buffer of
+// LineBytes bytes, for preload paths that run once per touched line and
+// want the steady state allocation-free.
+func (p *Program) InitialContentsInto(addr pcm.LineAddr, dst []byte) {
+	if len(dst) != p.par.LineBytes {
+		panic(fmt.Sprintf("workload: InitialContentsInto buffer of %d bytes, line is %d", len(dst), p.par.LineBytes))
+	}
+	p.initialInto(addr, dst)
 }
 
 // Next produces the core's next operation.
@@ -362,13 +396,11 @@ func (g *Generator) pickAddr() pcm.LineAddr {
 // untouched PCM, the source of the suite's SET-dominance.
 func (g *Generator) freshPayload(addr pcm.LineAddr) []byte {
 	words := g.prog.shadowWords(addr)
-	scale := 1 / (1 - g.prof.UntouchedUnits)
-	perUnit := g.prof.MeanSets + g.prof.MeanResets
 	for u := 0; u < g.lineLen/8; u++ {
 		if g.rng.Float64() < g.prof.UntouchedUnits {
 			continue
 		}
-		n := g.poisson(perUnit * scale)
+		n := g.poissonL(g.expUnitMean)
 		// Bit b of the 64-bit unit is bit b of the little-endian word.
 		for _, b := range g.distinctBits(n, 64) {
 			words[u] |= 1 << b
@@ -389,7 +421,10 @@ func (g *Generator) distinctBits(n, width int) []int {
 	if n == 0 {
 		return nil
 	}
-	perm := make([]int, width)
+	if cap(g.perm) < width {
+		g.perm = make([]int, width)
+	}
+	perm := g.perm[:width]
 	for i := range perm {
 		perm[i] = i
 	}
@@ -407,13 +442,11 @@ func (g *Generator) distinctBits(n, width int) []int {
 // fresh-write stream reproduces both Figure 3 means.
 func (g *Generator) mutateResident(addr pcm.LineAddr) []byte {
 	words := g.prog.shadowWords(addr)
-	scale := 1 / (1 - g.prof.UntouchedUnits)
-	perUnit := g.prof.MeanSets + g.prof.MeanResets
 	for u := 0; u < g.lineLen/8; u++ {
 		if g.rng.Float64() < g.prof.UntouchedUnits {
 			continue
 		}
-		n := g.poisson(perUnit * scale)
+		n := g.poissonL(g.expUnitMean)
 		for _, b := range g.distinctBits(n, 64) {
 			words[u] ^= 1 << b
 		}
@@ -423,13 +456,14 @@ func (g *Generator) mutateResident(addr pcm.LineAddr) []byte {
 	return out
 }
 
-// poisson samples a Poisson variate with the given mean (Knuth's method;
-// means here are < 30, so the naive product loop is fine).
-func (g *Generator) poisson(mean float64) int {
-	if mean <= 0 {
+// poissonL samples a Poisson variate by Knuth's method from the
+// precomputed threshold l = exp(-mean) (means here are < 30, so the
+// naive product loop is fine). l >= 1 encodes mean <= 0 and returns 0
+// without touching the RNG, exactly like the un-cached version did.
+func (g *Generator) poissonL(l float64) int {
+	if l >= 1 {
 		return 0
 	}
-	l := math.Exp(-mean)
 	k := 0
 	p := 1.0
 	for {
